@@ -1,0 +1,429 @@
+package smtdram
+
+// The benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation, plus ablation benches for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its figure at a reduced per-thread instruction
+// budget (the -short sizes) and reports the headline number as a custom
+// metric, so regressions in the reproduced *shape* show up as metric drift.
+// cmd/experiments prints the full tables at publication sizes.
+
+import (
+	"testing"
+
+	"smtdram/internal/core"
+	"smtdram/internal/cpu"
+	"smtdram/internal/dram"
+	"smtdram/internal/figures"
+	"smtdram/internal/memctrl"
+)
+
+// benchOpts is the reduced experiment size used by the benchmarks.
+func benchOpts() figures.Options {
+	return figures.Options{
+		Warmup:    60_000,
+		Target:    40_000,
+		Seed:      42,
+		Baselines: map[string]float64{},
+	}
+}
+
+// benchCfg is a reduced single-run config.
+func benchCfg(apps ...string) core.Config {
+	cfg := core.DefaultConfig(apps...)
+	cfg.WarmupInstr = 60_000
+	cfg.TargetInstr = 40_000
+	return cfg
+}
+
+// BenchmarkTable2Machine measures the simulator itself: cycles/sec simulating
+// the Table 1 machine on the 2-MEM mix (Table 2's smallest MEM workload).
+func BenchmarkTable2Machine(b *testing.B) {
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(benchCfg("mcf", "ammp"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
+}
+
+// BenchmarkFig1CPIBreakdown regenerates the CPI breakdown for the extremes of
+// Figure 1 (the full 26-app sweep lives in cmd/experiments -fig 1).
+func BenchmarkFig1CPIBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range []string{"gzip", "mcf"} {
+			bd, err := core.CPIBreakdown(benchCfg(app), app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if app == "mcf" {
+				b.ReportMetric(bd.Mem, "mcf-CPImem")
+			} else {
+				b.ReportMetric(bd.Mem, "gzip-CPImem")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2FetchPolicies compares ICOUNT and DWarn on 8-MIX — the
+// workload where the paper's separation is widest.
+func BenchmarkFig2FetchPolicies(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		var ws [2]float64
+		for j, pol := range []cpu.FetchPolicy{cpu.ICOUNT, cpu.DWarn} {
+			cfg := benchCfg("gzip", "mcf", "bzip2", "ammp", "sixtrack", "swim", "eon", "lucas")
+			cfg.CPU.Policy = pol
+			v, _, err := optsWS(o, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws[j] = v
+		}
+		b.ReportMetric(ws[1]/ws[0], "dwarn/icount-WS")
+	}
+}
+
+// BenchmarkFig3MemoryLoss measures the 8-MEM performance retained versus an
+// infinite L3 under DWarn.
+func BenchmarkFig3MemoryLoss(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		real := benchCfg("mcf", "ammp", "swim", "lucas")
+		realWS, _, err := optsWS(o, real)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := benchCfg("mcf", "ammp", "swim", "lucas")
+		ref.PerfectL3 = true
+		refWS, _, err := optsWS(o, ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(realWS/refWS, "retained-vs-infL3")
+	}
+}
+
+// BenchmarkFig4Concurrency measures the probability of >8 outstanding
+// requests on 4-MEM while the DRAM system is busy.
+func BenchmarkFig4Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(benchCfg("mcf", "ammp", "swim", "lucas"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var busy, tail uint64
+		for k := 1; k < len(res.OutstandingHist); k++ {
+			busy += res.OutstandingHist[k]
+			if k > 8 {
+				tail += res.OutstandingHist[k]
+			}
+		}
+		b.ReportMetric(float64(tail)/float64(busy), "P(>8|busy)")
+	}
+}
+
+// BenchmarkFig5ThreadSpread measures how often 4-MEM's concurrent requests
+// come from all four threads.
+func BenchmarkFig5ThreadSpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(benchCfg("mcf", "ammp", "swim", "lucas"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total uint64
+		for _, v := range res.ThreadSpreadHist {
+			total += v
+		}
+		b.ReportMetric(float64(res.ThreadSpreadHist[4])/float64(total), "P(all-4-threads)")
+	}
+}
+
+// BenchmarkFig6Channels measures the 4-MEM speedup from quadrupling channels.
+func BenchmarkFig6Channels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r2, err := core.Run(benchCfg("mcf", "ammp", "swim", "lucas"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c8 := benchCfg("mcf", "ammp", "swim", "lucas")
+		c8.Mem.PhysChannels = 8
+		r8, err := core.Run(c8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r8.TotalIPC()/r2.TotalIPC(), "8ch/2ch-IPC")
+	}
+}
+
+// BenchmarkFig7Ganging measures 8C-1G over 8C-4G on 4-MEM — the paper's
+// headline "independent channels may outperform ganged by up to 90%".
+func BenchmarkFig7Ganging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		indep := benchCfg("mcf", "ammp", "swim", "lucas")
+		indep.Mem.PhysChannels = 8
+		ri, err := core.Run(indep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ganged := benchCfg("mcf", "ammp", "swim", "lucas")
+		ganged.Mem.PhysChannels = 8
+		ganged.Mem.Gang = 4
+		rg, err := core.Run(ganged)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ri.TotalIPC()/rg.TotalIPC(), "8C1G/8C4G-IPC")
+	}
+}
+
+// BenchmarkFig8MappingDDR measures the page→XOR row-buffer miss reduction on
+// the 2-channel DDR system, 4-MEM.
+func BenchmarkFig8MappingDDR(b *testing.B) {
+	benchMapping(b, core.DDR)
+}
+
+// BenchmarkFig9MappingRDRAM measures the same on Direct Rambus, where the
+// paper finds the XOR scheme far more effective (many more banks).
+func BenchmarkFig9MappingRDRAM(b *testing.B) {
+	benchMapping(b, core.RDRAM)
+}
+
+func benchMapping(b *testing.B, kind core.DRAMKind) {
+	for i := 0; i < b.N; i++ {
+		page := benchCfg("mcf", "ammp", "swim", "lucas")
+		page.Mem.Kind = kind
+		page.Mem.Scheme = PageMapping
+		rp, err := core.Run(page)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xor := benchCfg("mcf", "ammp", "swim", "lucas")
+		xor.Mem.Kind = kind
+		xor.Mem.Scheme = XORMapping
+		rx, err := core.Run(xor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rp.RowBufferMissRate, "page-miss")
+		b.ReportMetric(rx.RowBufferMissRate, "xor-miss")
+	}
+}
+
+// BenchmarkFig10Scheduling measures the thread-aware request-based scheme
+// against FCFS on 4-MEM.
+func BenchmarkFig10Scheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fc := benchCfg("mcf", "ammp", "swim", "lucas")
+		fc.Mem.Policy = memctrl.FCFS
+		rf, err := core.Run(fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb := benchCfg("mcf", "ammp", "swim", "lucas")
+		rb.Mem.Policy = memctrl.RequestBased
+		rr, err := core.Run(rb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rr.TotalIPC()/rf.TotalIPC(), "reqbased/fcfs-IPC")
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblationPageMode compares open vs close page on a streaming MEM
+// mix (open page should win: the streams hit the row buffers).
+func BenchmarkAblationPageMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		open := benchCfg("swim", "lucas")
+		open.Mem.PageMode = dram.OpenPage
+		ro, err := core.Run(open)
+		if err != nil {
+			b.Fatal(err)
+		}
+		closed := benchCfg("swim", "lucas")
+		closed.Mem.PageMode = dram.ClosePage
+		rc, err := core.Run(closed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ro.TotalIPC()/rc.TotalIPC(), "open/close-IPC")
+	}
+}
+
+// BenchmarkAblationMSHR throttles memory-level parallelism by shrinking the
+// MSHRs from 16 to 4.
+func BenchmarkAblationMSHR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := benchCfg("mcf", "ammp")
+		rf, err := core.Run(full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := benchCfg("mcf", "ammp")
+		for _, c := range []*struct{ MSHRs *int }{
+			{&small.L1D.MSHRs}, {&small.L1I.MSHRs}, {&small.L2.MSHRs}, {&small.L3.MSHRs},
+		} {
+			*c.MSHRs = 4
+		}
+		rs, err := core.Run(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rf.TotalIPC()/rs.TotalIPC(), "mshr16/mshr4-IPC")
+	}
+}
+
+// BenchmarkAblationQueueDepth shrinks the per-channel controller queue from
+// 64 to 8, reducing the scheduler's reordering window.
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		deep := benchCfg("mcf", "ammp", "swim", "lucas")
+		rd, err := core.Run(deep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shallow := benchCfg("mcf", "ammp", "swim", "lucas")
+		shallow.Mem.QueueDepth = 8
+		rs, err := core.Run(shallow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rd.TotalIPC()/rs.TotalIPC(), "deep/shallow-IPC")
+	}
+}
+
+// BenchmarkAblationPolicyOrder tests the paper's Section 3.2 claim that
+// hit-first must rank above the thread-aware criterion.
+func BenchmarkAblationPolicyOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper := benchCfg("mcf", "ammp", "swim", "lucas")
+		paper.Mem.Policy = memctrl.RequestBased
+		rp, err := core.Run(paper)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inverted := benchCfg("mcf", "ammp", "swim", "lucas")
+		inverted.Mem.Policy = memctrl.RequestBased
+		inverted.Mem.ThreadAwareFirst = true
+		ri, err := core.Run(inverted)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rp.TotalIPC()/ri.TotalIPC(), "hitfirst-above/below-IPC")
+	}
+}
+
+// optsWS is a small helper around the figures package's baseline cache.
+func optsWS(o figures.Options, cfg core.Config) (float64, core.Result, error) {
+	return figures.WS(o, cfg)
+}
+
+// BenchmarkAblationPrefetch enables Table 1's prefetch MSHRs (next-line
+// prefetching at the L2) on a streaming mix.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off := benchCfg("swim", "lucas")
+		ro, err := core.Run(off)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on := benchCfg("swim", "lucas")
+		on.L2.PrefetchNextLine = true
+		on.L2.PrefetchMSHRs = 4
+		rp, err := core.Run(on)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rp.TotalIPC()/ro.TotalIPC(), "prefetch-on/off-IPC")
+	}
+}
+
+// BenchmarkAblationRefresh measures the cost of realistic all-bank refresh
+// (7.8 µs tREFI / 70 ns tRFC), which the paper's model omits.
+func BenchmarkAblationRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ideal := benchCfg("mcf", "ammp")
+		ri, err := core.Run(ideal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refreshed := benchCfg("mcf", "ammp")
+		refreshed.Mem.Refresh = true
+		rr, err := core.Run(refreshed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ri.TotalIPC()/rr.TotalIPC(), "ideal/refresh-IPC")
+	}
+}
+
+// BenchmarkAblationTurnaround measures a 5 ns bus direction-switch penalty,
+// the overhead write-buffer literature targets.
+func BenchmarkAblationTurnaround(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ideal := benchCfg("swim", "lucas")
+		ri, err := core.Run(ideal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalized := benchCfg("swim", "lucas")
+		penalized.Mem.TurnaroundNS = 5
+		rp, err := core.Run(penalized)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ri.TotalIPC()/rp.TotalIPC(), "ideal/turnaround-IPC")
+	}
+}
+
+// BenchmarkCriticalityScheduling measures the Section 3.1 criticality-based
+// policy (not in Figure 10) against FCFS on a MIX workload, where critical
+// demand loads compete with writeback traffic.
+func BenchmarkCriticalityScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fc := benchCfg("gzip", "mcf", "bzip2", "ammp")
+		fc.Mem.Policy = memctrl.FCFS
+		rf, err := core.Run(fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cr := benchCfg("gzip", "mcf", "bzip2", "ammp")
+		cr.Mem.Policy = memctrl.CriticalityBased
+		rc, err := core.Run(cr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rc.TotalIPC()/rf.TotalIPC(), "critical/fcfs-IPC")
+	}
+}
+
+// BenchmarkCoopFetchPolicy measures the paper's future-work direction —
+// fetch policy / memory scheduler cooperation — against plain DWarn on the
+// clog-prone 8-MIX workload.
+func BenchmarkCoopFetchPolicy(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		dwarn := benchCfg("gzip", "mcf", "bzip2", "ammp", "sixtrack", "swim", "eon", "lucas")
+		dwarn.CPU.Policy = cpu.DWarn
+		wd, _, err := optsWS(o, dwarn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coop := benchCfg("gzip", "mcf", "bzip2", "ammp", "sixtrack", "swim", "eon", "lucas")
+		coop.CPU.Policy = cpu.Coop
+		wc, _, err := optsWS(o, coop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(wc/wd, "coop/dwarn-WS")
+	}
+}

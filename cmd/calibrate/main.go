@@ -1,0 +1,92 @@
+// Command calibrate characterizes every synthetic SPEC CPU2000 application
+// model on the paper's reference machine: CPI, DRAM reads per 100
+// instructions, cache miss rates, and row-buffer behaviour, sorted by memory
+// intensity. This is the table the workload models in internal/workload were
+// tuned against (see DESIGN.md §2); rerun it after any model change.
+//
+// Usage:
+//
+//	calibrate                 # all 26 applications
+//	calibrate mcf swim gzip   # a subset
+//	calibrate -format csv     # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"smtdram/internal/core"
+	"smtdram/internal/report"
+	"smtdram/internal/workload"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "text", "output format: text, csv, md")
+		warmup = flag.Uint64("warmup", 100_000, "per-thread warmup instructions")
+		target = flag.Uint64("target", 150_000, "per-thread measured instructions")
+		seed   = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	apps := flag.Args()
+	if len(apps) == 0 {
+		apps = workload.Names()
+	}
+
+	type row struct {
+		name    string
+		class   string
+		cpi     float64
+		mem     float64
+		rowMiss float64
+		l1d     float64
+		l2      float64
+		ipc     float64
+	}
+	var rows []row
+	for _, name := range apps {
+		app, err := workload.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultConfig(name)
+		cfg.WarmupInstr, cfg.TargetInstr, cfg.Seed = *warmup, *target, *seed
+		res, err := core.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		rows = append(rows, row{
+			name:    name,
+			class:   app.Class.String(),
+			cpi:     1 / res.IPC[0],
+			ipc:     res.IPC[0],
+			mem:     res.MemReadsPer100Inst,
+			rowMiss: res.RowBufferMissRate,
+			l1d:     res.Caches[1].MissRate,
+			l2:      res.Caches[2].MissRate,
+		})
+		fmt.Fprintf(os.Stderr, "  %s done\n", name)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mem < rows[j].mem })
+
+	t := report.New("Application characterization (reference machine, sorted by DRAM intensity)",
+		"app", "class", "IPC", "CPI", "memReads/100", "rowMiss", "L1D miss", "L2 miss")
+	for _, r := range rows {
+		t.AddRow(r.name, r.class, r.ipc, r.cpi, r.mem, r.rowMiss, r.l1d, r.l2)
+	}
+	if err := t.Render(os.Stdout, f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

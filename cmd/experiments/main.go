@@ -1,0 +1,150 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all                 # everything (slow)
+//	experiments -fig 10                  # one figure
+//	experiments -fig 2 -target 200000    # longer measurement window
+//
+// Valid -fig values: table2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"smtdram/internal/figures"
+	"smtdram/internal/report"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate (table2, 1..10, all)")
+		format  = flag.String("format", "text", "output format: text, csv, md")
+		warmup  = flag.Uint64("warmup", 100_000, "per-thread warmup instructions")
+		target  = flag.Uint64("target", 100_000, "per-thread measured instructions")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	figures.Render = f
+
+	opts := figures.Options{Warmup: *warmup, Target: *target, Seed: *seed,
+		Baselines: map[string]float64{}}
+	if *verbose {
+		opts.Out = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	run("table2", func() error { figures.PrintTable2(os.Stdout); return nil })
+	run("1", func() error {
+		rows, err := figures.Fig1(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig1(os.Stdout, rows)
+		return nil
+	})
+	run("2", func() error {
+		cells, err := figures.Fig2(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig2(os.Stdout, cells)
+		return nil
+	})
+	run("3", func() error {
+		rows, err := figures.Fig3(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig3(os.Stdout, rows)
+		return nil
+	})
+	var conc []figures.ConcurrencyRow
+	run("4", func() error {
+		var err error
+		conc, err = figures.Fig4and5(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig4(os.Stdout, conc)
+		return nil
+	})
+	run("5", func() error {
+		if conc == nil {
+			var err error
+			conc, err = figures.Fig4and5(opts)
+			if err != nil {
+				return err
+			}
+		}
+		figures.PrintFig5(os.Stdout, conc)
+		return nil
+	})
+	run("6", func() error {
+		rows, err := figures.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig6(os.Stdout, rows)
+		return nil
+	})
+	run("7", func() error {
+		rows, err := figures.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig7(os.Stdout, rows)
+		return nil
+	})
+	run("8", func() error {
+		rows, err := figures.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintMapping(os.Stdout, "Figure 8: row-buffer miss rates, 2-channel DDR", rows)
+		return nil
+	})
+	run("9", func() error {
+		rows, err := figures.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintMapping(os.Stdout, "Figure 9: row-buffer miss rates, 2-channel Direct Rambus", rows)
+		return nil
+	})
+	run("10", func() error {
+		cells, err := figures.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig10(os.Stdout, cells)
+		return nil
+	})
+}

@@ -1,0 +1,160 @@
+// Command smtdram runs one SMT + DRAM simulation described by flags and
+// prints the measurements: per-thread IPC, memory traffic, row-buffer
+// behaviour, and the concurrency distributions.
+//
+// Examples:
+//
+//	smtdram -mix 4-MEM
+//	smtdram -apps mcf,ammp -channels 8 -gang 2 -policy request-based
+//	smtdram -apps swim -dram rdram -scheme page -pagemode close
+//	smtdram -dump-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smtdram/internal/addrmap"
+	"smtdram/internal/core"
+	"smtdram/internal/cpu"
+	"smtdram/internal/dram"
+	"smtdram/internal/memctrl"
+	"smtdram/internal/stats"
+	"smtdram/internal/workload"
+)
+
+func main() {
+	var (
+		mix      = flag.String("mix", "", "Table 2 mix name (e.g. 4-MEM); overrides -apps")
+		apps     = flag.String("apps", "mcf,ammp", "comma-separated application list, one per thread")
+		channels = flag.Int("channels", 2, "physical memory channels (2/4/8)")
+		gang     = flag.Int("gang", 1, "physical channels per logical channel")
+		dramKind = flag.String("dram", "ddr", "DRAM technology: ddr or rdram")
+		scheme   = flag.String("scheme", "xor", "address mapping: page or xor")
+		pagemode = flag.String("pagemode", "open", "page mode: open or close")
+		policy   = flag.String("policy", "hit-first", "scheduling: fcfs, hit-first, age-based, request-based, rob-based, iq-based")
+		fetch    = flag.String("fetch", "dwarn", "fetch policy: rr, icount, fetch-stall, dg, dwarn")
+		warmup   = flag.Uint64("warmup", 100_000, "per-thread warmup instructions")
+		target   = flag.Uint64("target", 200_000, "per-thread measured instructions")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		dump     = flag.Bool("dump-config", false, "print the Table 1 configuration and exit")
+	)
+	flag.Parse()
+
+	if *dump {
+		dumpConfig()
+		return
+	}
+
+	names := strings.Split(*apps, ",")
+	if *mix != "" {
+		m, err := workload.MixByName(*mix)
+		fatalIf(err)
+		names = m.Apps
+	}
+	cfg := core.DefaultConfig(names...)
+	cfg.WarmupInstr, cfg.TargetInstr, cfg.Seed = *warmup, *target, *seed
+	cfg.Mem.PhysChannels = *channels
+	cfg.Mem.Gang = *gang
+
+	var err error
+	cfg.Mem.Kind, err = core.ParseDRAMKind(*dramKind)
+	fatalIf(err)
+	cfg.Mem.Policy, err = memctrl.ParsePolicy(*policy)
+	fatalIf(err)
+	cfg.CPU.Policy, err = cpu.ParseFetchPolicy(*fetch)
+	fatalIf(err)
+	switch strings.ToLower(*scheme) {
+	case "page":
+		cfg.Mem.Scheme = addrmap.Page
+	case "xor":
+		cfg.Mem.Scheme = addrmap.XOR
+	default:
+		fatalIf(fmt.Errorf("unknown mapping scheme %q", *scheme))
+	}
+	switch strings.ToLower(*pagemode) {
+	case "open":
+		cfg.Mem.PageMode = dram.OpenPage
+	case "close":
+		cfg.Mem.PageMode = dram.ClosePage
+	default:
+		fatalIf(fmt.Errorf("unknown page mode %q", *pagemode))
+	}
+
+	res, err := core.Run(cfg)
+	fatalIf(err)
+	report(cfg, res)
+}
+
+func report(cfg core.Config, res core.Result) {
+	fmt.Printf("machine: %d threads, %dC-%dG %s, %v mapping, %v page, %v scheduling, %v fetch\n",
+		len(cfg.Apps), cfg.Mem.PhysChannels, cfg.Mem.Gang, cfg.Mem.Kind,
+		cfg.Mem.Scheme, cfg.Mem.PageMode, cfg.Mem.Policy, cfg.CPU.Policy)
+	fmt.Printf("cycles: %d%s\n", res.Cycles, timedOut(res))
+	fmt.Printf("%-3s %-9s %10s %12s %10s %12s\n", "t", "app", "IPC", "committed", "squashes", "avg DRAM lat")
+	for i, app := range res.Apps {
+		lat := "-"
+		if i < len(res.ThreadAvgReadLatency) && res.ThreadAvgReadLatency[i] > 0 {
+			lat = fmt.Sprintf("%.0f", res.ThreadAvgReadLatency[i])
+		}
+		fmt.Printf("%-3d %-9s %10.3f %12d %10d %12s\n", i, app, res.IPC[i], res.Committed[i], res.Squashes[i], lat)
+	}
+	fmt.Printf("total IPC: %.3f\n", res.TotalIPC())
+	fmt.Printf("memory: %d reads, %d writes, %.2f reads/100 instr, avg read latency %.0f cycles\n",
+		res.MemReads, res.MemWrites, res.MemReadsPer100Inst, res.AvgReadLatency)
+	fmt.Printf("row buffer: %.1f%% miss (%d hits, %d closed, %d conflicts)\n",
+		100*res.RowBufferMissRate, res.RowHits, res.RowClosed, res.RowConflicts)
+	fmt.Printf("caches:\n")
+	for _, c := range res.Caches {
+		fmt.Printf("  %-4s %10d accesses, %9d misses (%.1f%%), %8d writebacks\n",
+			c.Name, c.Accesses, c.Misses, 100*c.MissRate, c.Writebacks)
+	}
+	fmt.Printf("outstanding while busy:")
+	for _, b := range stats.Bucketize(res.OutstandingHist, []int{1, 4, 8, 16}) {
+		fmt.Printf("  %s: %.1f%%", b.Label, 100*b.Frac)
+	}
+	fmt.Println()
+}
+
+func timedOut(res core.Result) string {
+	if res.TimedOut {
+		return " (TIMED OUT before all threads hit the target)"
+	}
+	return ""
+}
+
+func dumpConfig() {
+	cfg := core.DefaultConfig("mcf")
+	c := cfg.CPU
+	fmt.Println("Table 1 simulator parameters (as configured):")
+	fmt.Printf("  processor speed        3 GHz (all latencies in CPU cycles)\n")
+	fmt.Printf("  fetch width            %d instructions, up to %d threads/cycle\n", c.FetchWidth, c.FetchMaxThreads)
+	fmt.Printf("  baseline fetch policy  %v\n", c.Policy)
+	fmt.Printf("  front-end depth        %d cycles\n", c.FrontendDelay)
+	fmt.Printf("  functional units       %d IntALU, %d IntMult, %d FPALU, %d FPMult\n", c.IntALU, c.IntMult, c.FPALU, c.FPMult)
+	fmt.Printf("  issue width            %d Int, %d FP\n", c.IntIssueWidth, c.FPIssueWidth)
+	fmt.Printf("  issue queue size       %d Int, %d FP\n", c.IntIQ, c.FPIQ)
+	fmt.Printf("  reorder buffer         %d/thread\n", c.ROBPerThread)
+	fmt.Printf("  load/store queues      %d LQ, %d SQ\n", c.LQ, c.SQ)
+	fmt.Printf("  mispredict penalty     %d cycles\n", c.MispredictPenalty)
+	fmt.Printf("  L1 caches              %dKB I / %dKB D, %d-way, %dB lines, %d-cycle\n",
+		cfg.L1I.SizeBytes>>10, cfg.L1D.SizeBytes>>10, cfg.L1D.Assoc, cfg.L1D.LineBytes, cfg.L1D.Latency)
+	fmt.Printf("  L2 cache               %dKB, %d-way, %d-cycle\n", cfg.L2.SizeBytes>>10, cfg.L2.Assoc, cfg.L2.Latency)
+	fmt.Printf("  L3 cache               %dMB, %d-way, %d-cycle\n", cfg.L3.SizeBytes>>20, cfg.L3.Assoc, cfg.L3.Latency)
+	fmt.Printf("  MSHRs                  %d/cache\n", cfg.L1D.MSHRs)
+	fmt.Printf("  memory channels        %d (gang %d), %v\n", cfg.Mem.PhysChannels, cfg.Mem.Gang, cfg.Mem.Kind)
+	params, _ := cfg.Mem.Params()
+	fmt.Printf("  DRAM timing            tRCD=%d CL=%d tRP=%d burst=%d cycles (15ns/15ns/15ns at 3GHz)\n",
+		params.TRCD, params.CL, params.TRP, params.Burst)
+	fmt.Printf("  mapping / page mode    %v / %v\n", cfg.Mem.Scheme, cfg.Mem.PageMode)
+	fmt.Printf("  scheduling policy      %v\n", cfg.Mem.Policy)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtdram:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Channels: the paper's Figures 6 and 7 in miniature — how channel count
+// and channel ganging change performance for a memory-intensive mix.
+//
+// Expected shape (Section 5.3): more independent channels help MEM mixes a
+// lot; ganging channels into wider logical ones costs concurrency and loses
+// to independent organizations, by a wide margin at high thread counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtdram"
+)
+
+func main() {
+	mix, err := smtdram.MixByName("4-MEM")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single-thread baselines are measured once, on the reference 2C-1G
+	// machine, and reused for every organization — per-organization
+	// baselines would cancel the very effect being measured.
+	baselines := map[string]float64{}
+	for _, app := range mix.Apps {
+		if _, ok := baselines[app]; ok {
+			continue
+		}
+		ref := smtdram.DefaultConfig(mix.Apps...)
+		ref.WarmupInstr, ref.TargetInstr = 100_000, 100_000
+		ipc, err := smtdram.RunAlone(ref, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines[app] = ipc
+	}
+	run := func(phys, gang int) float64 {
+		cfg := smtdram.DefaultConfig(mix.Apps...)
+		cfg.WarmupInstr, cfg.TargetInstr = 100_000, 100_000
+		cfg.Mem.PhysChannels = phys
+		cfg.Mem.Gang = gang
+		res, err := smtdram.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ws float64
+		for i, app := range mix.Apps {
+			ws += res.IPC[i] / baselines[app]
+		}
+		return ws
+	}
+
+	fmt.Printf("4-MEM (%v)\n\n", mix.Apps)
+	fmt.Println("Channel scaling (independent logical channels):")
+	base := run(2, 1)
+	for _, ch := range []int{2, 4, 8} {
+		ws := base
+		if ch != 2 {
+			ws = run(ch, 1)
+		}
+		fmt.Printf("  %d channels: WS %.3f (%.2f× the 2-channel system)\n", ch, ws, ws/base)
+	}
+
+	fmt.Println("\nGanging 8 physical channels:")
+	for _, gang := range []int{1, 2, 4} {
+		ws := run(8, gang)
+		fmt.Printf("  8C-%dG (%d logical × %dB wide): WS %.3f\n",
+			gang, 8/gang, 16*gang, ws)
+	}
+	fmt.Println("\nIndependent channels should win: serving many requests " +
+		"concurrently beats shortening one request's transfer.")
+}

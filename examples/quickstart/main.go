@@ -1,0 +1,40 @@
+// Quickstart: run the paper's 2-MEM mix (mcf + ammp) on the default
+// Table 1 machine and print the headline measurements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtdram"
+)
+
+func main() {
+	// The default machine: 2-channel DDR SDRAM, XOR mapping, open page,
+	// hit-first scheduling, DWarn fetch policy.
+	cfg := smtdram.DefaultConfig("mcf", "ammp")
+	cfg.WarmupInstr = 100_000 // cache warmup, like the paper's fast-forward
+	cfg.TargetInstr = 200_000 // measured instructions per thread
+
+	res, err := smtdram.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("2-MEM mix on the paper's baseline machine")
+	for i, app := range res.Apps {
+		fmt.Printf("  thread %d (%-5s): IPC %.3f, %d squashes\n",
+			i, app, res.IPC[i], res.Squashes[i])
+	}
+	fmt.Printf("  total IPC          %.3f\n", res.TotalIPC())
+	fmt.Printf("  DRAM reads         %.2f per 100 instructions\n", res.MemReadsPer100Inst)
+	fmt.Printf("  avg read latency   %.0f cycles\n", res.AvgReadLatency)
+	fmt.Printf("  row-buffer misses  %.1f%%\n", 100*res.RowBufferMissRate)
+
+	// Weighted speedup needs single-thread baselines on the same machine.
+	ws, _, err := smtdram.WeightedSpeedup(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  weighted speedup   %.3f (2.0 = no interference)\n", ws)
+}

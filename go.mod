@@ -1,0 +1,3 @@
+module smtdram
+
+go 1.22

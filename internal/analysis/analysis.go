@@ -1,0 +1,249 @@
+// Package analysis computes offline statistics over DRAM request traces
+// (memctrl.TraceEvent streams): per-bank utilization, row-buffer locality,
+// inter-arrival clustering, per-thread service quality, and queueing-delay
+// distributions. It is the post-processing half of cmd/tracedump and the
+// numerical backbone for scheduler debugging — everything the paper's
+// Figures 4, 5, 8 and 9 summarize can be recomputed from a trace with it.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smtdram/internal/dram"
+	"smtdram/internal/memctrl"
+)
+
+// Summary aggregates a full trace.
+type Summary struct {
+	// Events is the number of requests analyzed.
+	Events int
+	// Reads and Writes split the traffic.
+	Reads, Writes int
+	// Span is last-done minus first-arrive, in cycles.
+	Span uint64
+
+	// RowHitRate, RowClosedRate, RowConflictRate partition outcomes.
+	RowHitRate, RowClosedRate, RowConflictRate float64
+
+	// MeanQueueDelay and MeanService decompose latency: arrival→issue and
+	// issue→done, in cycles (reads only).
+	MeanQueueDelay, MeanService float64
+	// P95QueueDelay is the 95th-percentile read queue delay.
+	P95QueueDelay uint64
+
+	// MeanInterArrival is the mean gap between consecutive arrivals;
+	// ClusterCV is the coefficient of variation of inter-arrival gaps
+	// (CV ≈ 1 for Poisson arrivals; CV ≫ 1 means clustered/bursty traffic,
+	// the paper's Section 3 premise).
+	MeanInterArrival float64
+	ClusterCV        float64
+
+	// PerThread holds read service quality per originating thread.
+	PerThread []ThreadSummary
+	// PerBank holds the busiest banks first.
+	PerBank []BankSummary
+}
+
+// ThreadSummary is one hardware thread's read service quality.
+type ThreadSummary struct {
+	Thread         int
+	Reads          int
+	MeanQueueDelay float64
+	MeanLatency    float64 // arrival → done
+}
+
+// BankSummary is one bank's share of traffic.
+type BankSummary struct {
+	Channel, Chip, Bank int
+	Accesses            int
+	RowHitRate          float64
+}
+
+// Collector accumulates trace events incrementally; safe for use as a
+// memctrl Trace callback (single simulator goroutine).
+type Collector struct {
+	events []memctrl.TraceEvent
+}
+
+// Add appends one event.
+func (c *Collector) Add(e memctrl.TraceEvent) { c.events = append(c.events, e) }
+
+// Len reports the number of collected events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Summarize computes the full summary. It returns an error for an empty
+// collection.
+func (c *Collector) Summarize() (Summary, error) {
+	return Summarize(c.events)
+}
+
+// Summarize computes statistics over a complete trace.
+func Summarize(events []memctrl.TraceEvent) (Summary, error) {
+	if len(events) == 0 {
+		return Summary{}, fmt.Errorf("analysis: empty trace")
+	}
+	s := Summary{Events: len(events)}
+
+	var (
+		firstArrive  = events[0].Arrive
+		lastDone     uint64
+		hits, closed int
+		conflicts    int
+		qDelaySum    float64
+		serviceSum   float64
+		readCount    int
+		queueDelays  []uint64
+		threadAgg    = map[int]*ThreadSummary{}
+		bankAgg      = map[[3]int]*BankSummary{}
+		bankHits     = map[[3]int]int{}
+		arrivals     []uint64
+		gapSum       float64
+		gaps         []float64
+	)
+	for _, e := range events {
+		if e.Arrive < firstArrive {
+			firstArrive = e.Arrive
+		}
+		if e.Done > lastDone {
+			lastDone = e.Done
+		}
+		switch e.Outcome {
+		case dram.Hit:
+			hits++
+		case dram.Closed:
+			closed++
+		default:
+			conflicts++
+		}
+		if e.Read {
+			s.Reads++
+			readCount++
+			qd := e.Issue - e.Arrive
+			qDelaySum += float64(qd)
+			serviceSum += float64(e.Done - e.Issue)
+			queueDelays = append(queueDelays, qd)
+			t := threadAgg[e.Thread]
+			if t == nil {
+				t = &ThreadSummary{Thread: e.Thread}
+				threadAgg[e.Thread] = t
+			}
+			t.Reads++
+			t.MeanQueueDelay += float64(qd)
+			t.MeanLatency += float64(e.Done - e.Arrive)
+		} else {
+			s.Writes++
+		}
+		key := [3]int{e.Channel, e.Chip, e.Bank}
+		b := bankAgg[key]
+		if b == nil {
+			b = &BankSummary{Channel: e.Channel, Chip: e.Chip, Bank: e.Bank}
+			bankAgg[key] = b
+		}
+		b.Accesses++
+		if e.Outcome == dram.Hit {
+			bankHits[key]++
+		}
+		arrivals = append(arrivals, e.Arrive)
+	}
+	s.Span = lastDone - firstArrive
+	total := float64(len(events))
+	s.RowHitRate = float64(hits) / total
+	s.RowClosedRate = float64(closed) / total
+	s.RowConflictRate = float64(conflicts) / total
+
+	if readCount > 0 {
+		s.MeanQueueDelay = qDelaySum / float64(readCount)
+		s.MeanService = serviceSum / float64(readCount)
+		sort.Slice(queueDelays, func(i, j int) bool { return queueDelays[i] < queueDelays[j] })
+		s.P95QueueDelay = queueDelays[(len(queueDelays)*95)/100]
+	}
+
+	// Inter-arrival clustering. Traces from the controller arrive in issue
+	// order, not arrival order, so sort first.
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	for i := 1; i < len(arrivals); i++ {
+		g := float64(arrivals[i] - arrivals[i-1])
+		gaps = append(gaps, g)
+		gapSum += g
+	}
+	if len(gaps) > 0 {
+		mean := gapSum / float64(len(gaps))
+		s.MeanInterArrival = mean
+		var varSum float64
+		for _, g := range gaps {
+			d := g - mean
+			varSum += d * d
+		}
+		if mean > 0 {
+			s.ClusterCV = math.Sqrt(varSum/float64(len(gaps))) / mean
+		}
+	}
+
+	for _, t := range threadAgg {
+		if t.Reads > 0 {
+			t.MeanQueueDelay /= float64(t.Reads)
+			t.MeanLatency /= float64(t.Reads)
+		}
+		s.PerThread = append(s.PerThread, *t)
+	}
+	sort.Slice(s.PerThread, func(i, j int) bool { return s.PerThread[i].Thread < s.PerThread[j].Thread })
+
+	for key, b := range bankAgg {
+		if b.Accesses > 0 {
+			b.RowHitRate = float64(bankHits[key]) / float64(b.Accesses)
+		}
+		s.PerBank = append(s.PerBank, *b)
+	}
+	sort.Slice(s.PerBank, func(i, j int) bool {
+		a, b := s.PerBank[i], s.PerBank[j]
+		if a.Accesses != b.Accesses {
+			return a.Accesses > b.Accesses
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.Chip != b.Chip {
+			return a.Chip < b.Chip
+		}
+		return a.Bank < b.Bank
+	})
+	return s, nil
+}
+
+// BankImbalance returns max/mean bank access counts — 1.0 is perfectly
+// balanced; large values mean hot banks (what the XOR mapping fixes).
+func (s Summary) BankImbalance() float64 {
+	if len(s.PerBank) == 0 {
+		return 0
+	}
+	maxA, sum := 0, 0
+	for _, b := range s.PerBank {
+		if b.Accesses > maxA {
+			maxA = b.Accesses
+		}
+		sum += b.Accesses
+	}
+	mean := float64(sum) / float64(len(s.PerBank))
+	return float64(maxA) / mean
+}
+
+// String renders a compact human-readable report.
+func (s Summary) String() string {
+	out := fmt.Sprintf(
+		"events=%d (r=%d w=%d) span=%d cycles\nrow: hit=%.3f closed=%.3f conflict=%.3f\n"+
+			"reads: queue=%.0f (p95=%d) service=%.0f cycles\narrivals: mean gap=%.1f CV=%.2f\n"+
+			"banks: %d touched, imbalance=%.2f\n",
+		s.Events, s.Reads, s.Writes, s.Span,
+		s.RowHitRate, s.RowClosedRate, s.RowConflictRate,
+		s.MeanQueueDelay, s.P95QueueDelay, s.MeanService,
+		s.MeanInterArrival, s.ClusterCV,
+		len(s.PerBank), s.BankImbalance(),
+	)
+	for _, t := range s.PerThread {
+		out += fmt.Sprintf("thread %d: %d reads, queue=%.0f latency=%.0f\n",
+			t.Thread, t.Reads, t.MeanQueueDelay, t.MeanLatency)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smtdram/internal/dram"
+	"smtdram/internal/memctrl"
+)
+
+func ev(arrive, issue, done uint64, thread int, read bool, ch, bank int, out dram.Outcome) memctrl.TraceEvent {
+	return memctrl.TraceEvent{
+		Arrive: arrive, Issue: issue, Done: done,
+		Thread: thread, Read: read, Channel: ch, Bank: bank, Outcome: out,
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("Summarize accepted an empty trace")
+	}
+	var c Collector
+	if _, err := c.Summarize(); err == nil {
+		t.Fatal("Collector.Summarize accepted an empty trace")
+	}
+}
+
+func TestBasicAggregates(t *testing.T) {
+	events := []memctrl.TraceEvent{
+		ev(0, 10, 100, 0, true, 0, 0, dram.Closed),
+		ev(5, 15, 130, 1, true, 0, 1, dram.Hit),
+		ev(20, 20, 160, -1, false, 1, 0, dram.Conflict),
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Span != 160 {
+		t.Fatalf("Span = %d, want 160", s.Span)
+	}
+	if math.Abs(s.RowHitRate-1.0/3) > 1e-9 || math.Abs(s.RowConflictRate-1.0/3) > 1e-9 {
+		t.Fatalf("outcome rates: %+v", s)
+	}
+	// Reads: queue delays 10 and 10 → mean 10; services 90 and 115 → 102.5.
+	if s.MeanQueueDelay != 10 {
+		t.Fatalf("MeanQueueDelay = %v", s.MeanQueueDelay)
+	}
+	if s.MeanService != 102.5 {
+		t.Fatalf("MeanService = %v", s.MeanService)
+	}
+}
+
+func TestPerThreadAndBank(t *testing.T) {
+	events := []memctrl.TraceEvent{
+		ev(0, 0, 50, 0, true, 0, 0, dram.Hit),
+		ev(0, 40, 90, 1, true, 0, 0, dram.Hit),
+		ev(0, 80, 130, 1, true, 0, 1, dram.Conflict),
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PerThread) != 2 {
+		t.Fatalf("PerThread = %v", s.PerThread)
+	}
+	if s.PerThread[0].Thread != 0 || s.PerThread[0].MeanQueueDelay != 0 {
+		t.Fatalf("thread 0 summary: %+v", s.PerThread[0])
+	}
+	if s.PerThread[1].Reads != 2 || s.PerThread[1].MeanQueueDelay != 60 {
+		t.Fatalf("thread 1 summary: %+v", s.PerThread[1])
+	}
+	// Bank (0,0,0) has 2 accesses, both hits; bank (0,0,1) has 1 conflict.
+	if len(s.PerBank) != 2 || s.PerBank[0].Accesses != 2 || s.PerBank[0].RowHitRate != 1 {
+		t.Fatalf("PerBank = %+v", s.PerBank)
+	}
+	// Imbalance: max 2 / mean 1.5.
+	if math.Abs(s.BankImbalance()-2.0/1.5) > 1e-9 {
+		t.Fatalf("BankImbalance = %v", s.BankImbalance())
+	}
+}
+
+func TestClusteringCV(t *testing.T) {
+	// Evenly spaced arrivals → CV ≈ 0; one giant gap → CV large.
+	var even, bursty []memctrl.TraceEvent
+	for i := 0; i < 100; i++ {
+		even = append(even, ev(uint64(i*10), uint64(i*10), uint64(i*10+50), 0, true, 0, 0, dram.Hit))
+	}
+	for i := 0; i < 50; i++ {
+		bursty = append(bursty, ev(uint64(i), uint64(i), uint64(i+50), 0, true, 0, 0, dram.Hit))
+		bursty = append(bursty, ev(uint64(100000+i), uint64(100000+i), uint64(100000+i+50), 0, true, 0, 0, dram.Hit))
+	}
+	se, err := Summarize(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Summarize(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.ClusterCV > 0.01 {
+		t.Fatalf("even arrivals CV = %v, want ≈0", se.ClusterCV)
+	}
+	if sb.ClusterCV < 3 {
+		t.Fatalf("bursty arrivals CV = %v, want ≫1", sb.ClusterCV)
+	}
+}
+
+func TestP95QueueDelay(t *testing.T) {
+	var events []memctrl.TraceEvent
+	for i := 0; i < 100; i++ {
+		events = append(events, ev(0, uint64(i), uint64(i+50), 0, true, 0, 0, dram.Hit))
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P95QueueDelay != 95 {
+		t.Fatalf("P95QueueDelay = %d, want 95", s.P95QueueDelay)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	s, err := Summarize([]memctrl.TraceEvent{ev(0, 1, 2, 0, true, 0, 0, dram.Hit)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	for _, want := range []string{"events=1", "row:", "thread 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	var c Collector
+	for i := 0; i < 10; i++ {
+		c.Add(ev(uint64(i), uint64(i), uint64(i+10), 0, true, 0, 0, dram.Hit))
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	s, err := c.Summarize()
+	if err != nil || s.Events != 10 {
+		t.Fatalf("Summarize: %v %+v", err, s)
+	}
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"smtdram/internal/event"
+	"smtdram/internal/mem"
+)
+
+// MemBackend terminates the cache hierarchy at a DRAM memory controller,
+// translating line fills and writebacks into mem.Requests. It absorbs
+// controller backpressure with a small retry buffer so a momentarily full
+// channel queue does not wedge an L3 MSHR.
+type MemBackend struct {
+	q      *event.Queue
+	ctrl   mem.Controller
+	nextID uint64
+
+	// pending holds requests the controller refused, retried on a timer.
+	pending []*mem.Request
+
+	// pendingCap bounds the retry buffer; beyond it, backpressure is
+	// propagated to the caller.
+	pendingCap int
+}
+
+var _ Backend = (*MemBackend)(nil)
+
+// NewMemBackend wraps ctrl as a cache Backend.
+func NewMemBackend(q *event.Queue, ctrl mem.Controller) *MemBackend {
+	return &MemBackend{q: q, ctrl: ctrl, pendingCap: 32}
+}
+
+// ReadLine implements Backend.
+func (b *MemBackend) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
+	r := &mem.Request{
+		ID:         b.id(),
+		Addr:       addr,
+		Kind:       mem.Read,
+		Thread:     meta.Thread,
+		Critical:   meta.Critical,
+		State:      meta.State,
+		OnComplete: done,
+	}
+	return b.submit(now, r)
+}
+
+// WriteLine implements Backend.
+func (b *MemBackend) WriteLine(now uint64, addr uint64, meta Meta) bool {
+	r := &mem.Request{
+		ID:     b.id(),
+		Addr:   addr,
+		Kind:   mem.Write,
+		Thread: meta.Thread,
+		State:  meta.State,
+	}
+	return b.submit(now, r)
+}
+
+func (b *MemBackend) id() uint64 {
+	b.nextID++
+	return b.nextID
+}
+
+func (b *MemBackend) submit(now uint64, r *mem.Request) bool {
+	if len(b.pending) > 0 || !b.ctrl.Enqueue(now, r) {
+		if len(b.pending) >= b.pendingCap {
+			return false
+		}
+		b.pending = append(b.pending, r)
+		if len(b.pending) == 1 {
+			b.q.Schedule(now+retryGap, b.drain)
+		}
+	}
+	return true
+}
+
+func (b *MemBackend) drain(now uint64) {
+	for len(b.pending) > 0 {
+		if !b.ctrl.Enqueue(now, b.pending[0]) {
+			b.q.Schedule(now+retryGap, b.drain)
+			return
+		}
+		b.pending = b.pending[1:]
+	}
+}
+
+// FixedLatency is a Backend with a constant service time and unlimited
+// bandwidth. It terminates hierarchies in unit tests and models the
+// "infinitely large" next level in CPI-breakdown runs.
+type FixedLatency struct {
+	q       *event.Queue
+	Latency uint64
+
+	Reads  uint64
+	Writes uint64
+}
+
+var _ Backend = (*FixedLatency)(nil)
+
+// NewFixedLatency builds the backend.
+func NewFixedLatency(q *event.Queue, latency uint64) *FixedLatency {
+	return &FixedLatency{q: q, Latency: latency}
+}
+
+// ReadLine implements Backend.
+func (f *FixedLatency) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
+	f.Reads++
+	if done != nil {
+		f.q.Schedule(now+f.Latency, done)
+	}
+	return true
+}
+
+// WriteLine implements Backend.
+func (f *FixedLatency) WriteLine(now uint64, addr uint64, meta Meta) bool {
+	f.Writes++
+	return true
+}

@@ -1,0 +1,403 @@
+// Package cache implements the non-blocking, write-back cache hierarchy of
+// the simulated machine: set-associative levels with LRU replacement,
+// MSHR-limited miss handling with miss merging, dirty-victim writebacks, and
+// "perfect" (always-hit) variants used for the paper's CPI-breakdown runs.
+package cache
+
+import (
+	"fmt"
+
+	"smtdram/internal/event"
+	"smtdram/internal/mem"
+)
+
+// Meta carries the processor-side context of an access down the hierarchy so
+// the memory controller can apply thread-aware scheduling.
+type Meta struct {
+	// Thread is the issuing hardware thread (mem.InvalidThread for
+	// writebacks).
+	Thread int
+	// Critical marks demand accesses the processor is stalled on.
+	Critical bool
+	// State is the thread's resource-occupancy snapshot at issue time.
+	State mem.ThreadState
+}
+
+// Backend is a level that can service line fills and accept writebacks. Both
+// methods return false when the component is out of buffering and the caller
+// must retry.
+type Backend interface {
+	// ReadLine requests a full line; done fires when the critical word (we
+	// model whole-line delivery) arrives.
+	ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool
+	// WriteLine hands a dirty line down; nobody waits for it.
+	WriteLine(now uint64, addr uint64, meta Meta) bool
+}
+
+// Config sizes one cache level.
+type Config struct {
+	// Name labels the level in stats output ("L1D", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LineBytes is the line size (64 throughout the paper).
+	LineBytes int
+	// Latency is the lookup latency in cycles.
+	Latency uint64
+	// MSHRs bounds concurrent outstanding misses (16 per cache in Table 1).
+	MSHRs int
+	// Perfect makes every access hit, modeling the paper's infinitely large
+	// cache runs used to attribute CPI to hierarchy levels.
+	Perfect bool
+	// PrefetchNextLine enables next-line prefetching on demand misses,
+	// through the dedicated PrefetchMSHRs pool (Table 1: 4/cache).
+	PrefetchNextLine bool
+	// PrefetchMSHRs bounds concurrent prefetches (default 4 when
+	// prefetching is enabled).
+	PrefetchMSHRs int
+}
+
+// Validate rejects configurations the set math cannot support.
+func (c Config) Validate() error {
+	if c.Perfect {
+		return nil
+	}
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Assoc != 0 || lines/c.Assoc == 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible into %d-way sets", c.Name, lines, c.Assoc)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: need at least one MSHR", c.Name)
+	}
+	return nil
+}
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool   // installed by a prefetch, not yet demanded
+	used       uint64 // LRU stamp
+}
+
+type mshr struct {
+	addr    uint64
+	waiters []func(at uint64)
+	dirty   bool // a store merged into this miss; mark line dirty on fill
+	issued  bool // handed to the lower level (vs still retrying)
+}
+
+// Stats counts per-level activity.
+type Stats struct {
+	Accesses   uint64 // demand reads + writes reaching this level
+	Misses     uint64 // demand misses (MSHR allocations + merges are split below)
+	Merged     uint64 // misses merged into an existing MSHR
+	Writebacks uint64 // dirty victims pushed down
+	MSHRFull   uint64 // rejections due to MSHR exhaustion
+}
+
+// MissRate is Misses/Accesses.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Level is one cache level. It implements Backend so levels stack.
+type Level struct {
+	cfg   Config
+	q     *event.Queue
+	lower Backend
+	sets  [][]line
+	nsets uint64
+	mshrs map[uint64]*mshr
+	tick  uint64 // LRU clock
+
+	// pendingWB holds dirty victims the lower level refused; retried on a
+	// timer so eviction never blocks the fill path.
+	pendingWB []wbEntry
+
+	// MissBegin/MissEnd, when set, fire when a demand miss allocates an
+	// MSHR and when its fill returns. The CPU uses these to track per-thread
+	// outstanding-miss state for the DG/DWarn/Fetch-Stall policies.
+	MissBegin func(meta Meta)
+	MissEnd   func(meta Meta)
+
+	// prefetch machinery (see prefetch.go)
+	pfInFlight int
+	pfPending  map[uint64]struct{}
+
+	Stats Stats
+	// Prefetch counts prefetcher activity (zero when disabled).
+	Prefetch prefetchStats
+}
+
+type wbEntry struct {
+	addr uint64
+	meta Meta
+}
+
+var _ Backend = (*Level)(nil)
+
+// New builds a cache level on top of lower.
+func New(q *event.Queue, cfg Config, lower Backend) (*Level, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PrefetchNextLine && cfg.PrefetchMSHRs == 0 {
+		cfg.PrefetchMSHRs = 4
+	}
+	l := &Level{
+		cfg: cfg, q: q, lower: lower,
+		mshrs:     make(map[uint64]*mshr),
+		pfPending: make(map[uint64]struct{}),
+	}
+	if !cfg.Perfect {
+		l.nsets = uint64(cfg.SizeBytes / cfg.LineBytes / cfg.Assoc)
+		l.sets = make([][]line, l.nsets)
+		backing := make([]line, int(l.nsets)*cfg.Assoc)
+		for i := range l.sets {
+			l.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+		}
+	}
+	return l, nil
+}
+
+// Name returns the configured level name.
+func (l *Level) Name() string { return l.cfg.Name }
+
+// Config returns the level's configuration.
+func (l *Level) Config() Config { return l.cfg }
+
+// OutstandingMisses reports live MSHR occupancy.
+func (l *Level) OutstandingMisses() int { return len(l.mshrs) }
+
+func (l *Level) lineAddr(addr uint64) uint64 { return addr &^ uint64(l.cfg.LineBytes-1) }
+
+// lookup returns the way holding addr, or nil.
+func (l *Level) lookup(la uint64) *line {
+	set := l.sets[(la/uint64(l.cfg.LineBytes))%l.nsets]
+	tag := la / uint64(l.cfg.LineBytes) / l.nsets
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// ReadLine implements Backend.
+func (l *Level) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
+	la := l.lineAddr(addr)
+	l.Stats.Accesses++
+	if l.cfg.Perfect {
+		l.complete(now+l.cfg.Latency, done)
+		return true
+	}
+	if ln := l.lookup(la); ln != nil {
+		l.tick++
+		ln.used = l.tick
+		l.notePrefetchHit(now, la, ln, meta)
+		l.complete(now+l.cfg.Latency, done)
+		return true
+	}
+	return l.miss(now, la, meta, done, false)
+}
+
+// Probe is the instruction-fetch port: it reports a hit synchronously (so
+// fetch can continue in the same cycle) and starts a fill on a miss, calling
+// fill when the line arrives. accepted is false when the MSHRs are full and
+// no fill was started; the caller retries next cycle.
+func (l *Level) Probe(now uint64, addr uint64, meta Meta, fill func(at uint64)) (hit, accepted bool) {
+	la := l.lineAddr(addr)
+	l.Stats.Accesses++
+	if l.cfg.Perfect {
+		return true, true
+	}
+	if ln := l.lookup(la); ln != nil {
+		l.tick++
+		ln.used = l.tick
+		l.notePrefetchHit(now, la, ln, meta)
+		return true, true
+	}
+	return false, l.miss(now, la, meta, fill, false)
+}
+
+// WriteLine implements Backend: a full dirty line arriving from the level
+// above (a writeback). The whole line is present, so no fetch is needed —
+// it is installed directly, dirty. Treating writebacks as write-allocate
+// stores would refetch every dirty victim from below, inflating DRAM reads.
+func (l *Level) WriteLine(now uint64, addr uint64, meta Meta) bool {
+	la := l.lineAddr(addr)
+	l.Stats.Accesses++
+	if l.cfg.Perfect {
+		return true
+	}
+	if ln := l.lookup(la); ln != nil {
+		l.tick++
+		ln.used = l.tick
+		ln.dirty = true
+		return true
+	}
+	if _, pending := l.mshrs[la]; pending {
+		// A fill for this line is in flight; mark it to land dirty.
+		l.mshrs[la].dirty = true
+		return true
+	}
+	l.install(now, la, true, meta)
+	return true
+}
+
+// Store is the CPU's store-commit port into the L1D: write-allocate, so a
+// miss fetches the line (the store writes only part of it) and dirties it
+// on fill.
+func (l *Level) Store(now uint64, addr uint64, meta Meta) bool {
+	la := l.lineAddr(addr)
+	l.Stats.Accesses++
+	if l.cfg.Perfect {
+		return true
+	}
+	if ln := l.lookup(la); ln != nil {
+		l.tick++
+		ln.used = l.tick
+		ln.dirty = true
+		return true
+	}
+	return l.miss(now, la, meta, nil, true)
+}
+
+// miss allocates or merges an MSHR for la. done may be nil (writes).
+func (l *Level) miss(now uint64, la uint64, meta Meta, done func(at uint64), dirty bool) bool {
+	l.Stats.Misses++
+	if m, ok := l.mshrs[la]; ok {
+		l.Stats.Merged++
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		m.dirty = m.dirty || dirty
+		return true
+	}
+	if len(l.mshrs) >= l.cfg.MSHRs {
+		l.Stats.Misses-- // rejected, caller retries: not a serviced miss
+		l.Stats.Accesses--
+		l.Stats.MSHRFull++
+		return false
+	}
+	m := &mshr{addr: la, dirty: dirty}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	l.mshrs[la] = m
+	if l.MissBegin != nil {
+		l.MissBegin(meta)
+	}
+	l.issue(now+l.cfg.Latency, m, meta)
+	l.maybePrefetch(now, la, meta)
+	return true
+}
+
+// retryGap is how long a component waits before re-attempting a transfer a
+// lower level refused. A handful of cycles: short against DRAM latencies.
+const retryGap = 8
+
+// issue hands the fill request to the lower level, retrying while it is
+// saturated.
+func (l *Level) issue(at uint64, m *mshr, meta Meta) {
+	l.q.Schedule(at, func(now uint64) {
+		if l.lower.ReadLine(now, m.addr, meta, func(fillAt uint64) { l.fill(fillAt, m, meta) }) {
+			m.issued = true
+			return
+		}
+		l.issue(now+retryGap, m, meta)
+	})
+}
+
+// fill installs the returned line, releases the MSHR, and wakes all waiters.
+func (l *Level) fill(now uint64, m *mshr, meta Meta) {
+	l.install(now, m.addr, m.dirty, meta)
+	delete(l.mshrs, m.addr)
+	if l.MissEnd != nil {
+		l.MissEnd(meta)
+	}
+	for _, w := range m.waiters {
+		w(now)
+	}
+	l.drainWB(now)
+}
+
+// install places la in its set, evicting the LRU way; dirty victims are
+// written back down.
+func (l *Level) install(now uint64, la uint64, dirty bool, meta Meta) {
+	set := l.sets[(la/uint64(l.cfg.LineBytes))%l.nsets]
+	tag := la / uint64(l.cfg.LineBytes) / l.nsets
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && v.dirty {
+		setIdx := (la / uint64(l.cfg.LineBytes)) % l.nsets
+		victimAddr := (v.tag*l.nsets + setIdx) * uint64(l.cfg.LineBytes)
+		l.writeback(now, victimAddr)
+	}
+	l.tick++
+	*v = line{tag: tag, valid: true, dirty: dirty, used: l.tick}
+	_ = meta
+}
+
+// writeback pushes a dirty victim down, buffering it if the lower level is
+// saturated.
+func (l *Level) writeback(now uint64, addr uint64) {
+	l.Stats.Writebacks++
+	meta := Meta{Thread: mem.InvalidThread}
+	if l.lower.WriteLine(now, addr, meta) {
+		return
+	}
+	l.pendingWB = append(l.pendingWB, wbEntry{addr: addr, meta: meta})
+	if len(l.pendingWB) == 1 {
+		l.scheduleWBRetry(now + retryGap)
+	}
+}
+
+func (l *Level) scheduleWBRetry(at uint64) {
+	l.q.Schedule(at, func(now uint64) { l.drainWB(now) })
+}
+
+func (l *Level) drainWB(now uint64) {
+	for len(l.pendingWB) > 0 {
+		e := l.pendingWB[0]
+		if !l.lower.WriteLine(now, e.addr, e.meta) {
+			l.scheduleWBRetry(now + retryGap)
+			return
+		}
+		l.pendingWB = l.pendingWB[1:]
+	}
+}
+
+// complete schedules a hit completion.
+func (l *Level) complete(at uint64, done func(at uint64)) {
+	if done == nil {
+		return
+	}
+	l.q.Schedule(at, done)
+}
+
+// Contains reports whether addr is resident (for tests).
+func (l *Level) Contains(addr uint64) bool {
+	if l.cfg.Perfect {
+		return true
+	}
+	return l.lookup(l.lineAddr(addr)) != nil
+}

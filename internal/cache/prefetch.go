@@ -1,0 +1,99 @@
+package cache
+
+// Next-line prefetching with dedicated prefetch MSHRs.
+//
+// Table 1 of the paper provisions "Prefetch MSHR entries: 4/cache" alongside
+// the 16 demand MSHRs. This file implements the matching mechanism: on a
+// demand miss to line X, the level may speculatively fetch line X+1 through
+// a separate, smaller MSHR pool so prefetches never steal demand miss
+// bandwidth. Prefetched fills install clean and are tagged so usefulness can
+// be measured.
+//
+// Prefetching defaults off in core.DefaultConfig — the workload calibration
+// in DESIGN.md was performed without it — but the ablation benchmark
+// (BenchmarkAblationPrefetch) and any Config with PrefetchNextLine=true
+// exercise it end to end.
+
+// prefetchStats counts prefetch activity for one level.
+type prefetchStats struct {
+	Issued  uint64 // prefetches sent to the lower level
+	Useful  uint64 // prefetched lines later hit by demand accesses
+	Late    uint64 // demand access arrived while the prefetch was in flight
+	Dropped uint64 // suppressed: line present, MSHR busy, or pool exhausted
+}
+
+// maybePrefetch is called on a demand miss to la; it may start a next-line
+// prefetch.
+func (l *Level) maybePrefetch(now uint64, la uint64, meta Meta) {
+	if !l.cfg.PrefetchNextLine || l.cfg.Perfect {
+		return
+	}
+	next := la + uint64(l.cfg.LineBytes)
+	if l.lookup(next) != nil {
+		l.Prefetch.Dropped++
+		return
+	}
+	if _, pending := l.mshrs[next]; pending {
+		l.Prefetch.Dropped++
+		return
+	}
+	if l.pfInFlight >= l.cfg.PrefetchMSHRs {
+		l.Prefetch.Dropped++
+		return
+	}
+	if _, dup := l.pfPending[next]; dup {
+		l.Prefetch.Dropped++
+		return
+	}
+
+	l.pfInFlight++
+	l.pfPending[next] = struct{}{}
+	l.Prefetch.Issued++
+	pfMeta := meta
+	pfMeta.Critical = false // prefetches are never critical
+	l.issuePrefetch(now, next, pfMeta)
+}
+
+// issuePrefetch hands the speculative fill to the lower level, retrying
+// while it is saturated (prefetches are patient; they never block demand).
+func (l *Level) issuePrefetch(at uint64, la uint64, meta Meta) {
+	l.q.Schedule(at+l.cfg.Latency, func(now uint64) {
+		ok := l.lower.ReadLine(now, la, meta, func(fillAt uint64) {
+			l.pfInFlight--
+			delete(l.pfPending, la)
+			// A demand miss may have allocated its own MSHR for this line
+			// while the prefetch was in flight; in that case the demand fill
+			// will install it, and installing here too would double-count.
+			if _, demand := l.mshrs[la]; demand {
+				l.Prefetch.Late++
+				return
+			}
+			if l.lookup(la) == nil {
+				l.installPrefetched(fillAt, la)
+			}
+		})
+		if !ok {
+			l.issuePrefetch(now+retryGap, la, meta)
+		}
+	})
+}
+
+// installPrefetched places a clean, prefetch-tagged line.
+func (l *Level) installPrefetched(now uint64, la uint64) {
+	l.install(now, la, false, Meta{Thread: -1})
+	if ln := l.lookup(la); ln != nil {
+		ln.prefetched = true
+	}
+}
+
+// notePrefetchHit records a demand hit on a prefetched line (called from the
+// hit paths) and, tagged-prefetch style, keeps the stream running by
+// prefetching the following line — otherwise a sequential walk would only
+// ever cover alternate lines.
+func (l *Level) notePrefetchHit(now uint64, la uint64, ln *line, meta Meta) {
+	if ln.prefetched {
+		ln.prefetched = false
+		l.Prefetch.Useful++
+		l.maybePrefetch(now, la, meta)
+	}
+}

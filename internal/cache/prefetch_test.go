@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"testing"
+
+	"smtdram/internal/event"
+)
+
+func pfCfg() Config {
+	return Config{
+		Name: "L2", SizeBytes: 8192, Assoc: 2, LineBytes: 64,
+		Latency: 2, MSHRs: 8, PrefetchNextLine: true, PrefetchMSHRs: 4,
+	}
+}
+
+func TestPrefetchFetchesNextLine(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 50)
+	l, err := New(&q, pfCfg(), lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ReadLine(0, 0x1000, Meta{Thread: 0}, nil)
+	q.RunUntil(1 << 20)
+	if lower.Reads != 2 {
+		t.Fatalf("lower saw %d reads, want 2 (demand + next-line prefetch)", lower.Reads)
+	}
+	if !l.Contains(0x1040) {
+		t.Fatal("next line not prefetched")
+	}
+	if l.Prefetch.Issued != 1 {
+		t.Fatalf("Issued = %d, want 1", l.Prefetch.Issued)
+	}
+	// Demanding the prefetched line is a hit and counts as useful.
+	var hitAt uint64
+	l.ReadLine(1000, 0x1040, Meta{Thread: 0}, func(at uint64) { hitAt = at })
+	q.RunUntil(1 << 20)
+	if hitAt != 1002 {
+		t.Fatalf("prefetched line demanded at %d, want hit at 1002", hitAt)
+	}
+	if l.Prefetch.Useful != 1 {
+		t.Fatalf("Useful = %d, want 1", l.Prefetch.Useful)
+	}
+}
+
+func TestPrefetchPoolExhaustion(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 1000) // slow: prefetches stay in flight
+	l, err := New(&q, pfCfg(), lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six demand misses to well-separated lines: only 4 prefetches may be
+	// outstanding; the rest are dropped, and demand misses are never blocked
+	// by prefetch-pool pressure.
+	for i := 0; i < 6; i++ {
+		if !l.ReadLine(0, uint64(0x10000+i*0x1000), Meta{}, nil) {
+			t.Fatalf("demand miss %d rejected", i)
+		}
+	}
+	if l.Prefetch.Issued != 4 {
+		t.Fatalf("Issued = %d, want 4 (pool limit)", l.Prefetch.Issued)
+	}
+	if l.Prefetch.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", l.Prefetch.Dropped)
+	}
+	q.RunUntil(1 << 21)
+	if l.pfInFlight != 0 {
+		t.Fatalf("prefetch pool not drained: %d", l.pfInFlight)
+	}
+}
+
+func TestPrefetchSuppressedWhenLinePresent(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 10)
+	l, err := New(&q, pfCfg(), lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill 0x2040 first, then miss 0x2000: next line is present → no
+	// prefetch.
+	l.ReadLine(0, 0x2040, Meta{}, nil)
+	q.RunUntil(1 << 20)
+	issued := l.Prefetch.Issued
+	l.ReadLine(100, 0x2000, Meta{}, nil)
+	q.RunUntil(1 << 20)
+	if l.Prefetch.Issued != issued {
+		t.Fatal("prefetch issued for an already-present line")
+	}
+}
+
+func TestLatePrefetchDoesNotDoubleInstall(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 200)
+	l, err := New(&q, pfCfg(), lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miss 0x3000 → prefetch 0x3040 (in flight for 200 cycles). A demand
+	// miss to 0x3040 arrives meanwhile and allocates a real MSHR. Both
+	// complete; the line must be installed once and the demand waiter woken.
+	l.ReadLine(0, 0x3000, Meta{}, nil)
+	var woken bool
+	l.ReadLine(10, 0x3040, Meta{}, func(uint64) { woken = true })
+	q.RunUntil(1 << 20)
+	if !woken {
+		t.Fatal("demand waiter on the racing line never woke")
+	}
+	if !l.Contains(0x3040) {
+		t.Fatal("racing line not resident")
+	}
+	if l.Prefetch.Late != 1 {
+		t.Fatalf("Late = %d, want 1", l.Prefetch.Late)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 10)
+	cfg := pfCfg()
+	cfg.PrefetchNextLine = false
+	l, err := New(&q, cfg, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ReadLine(0, 0x4000, Meta{}, nil)
+	q.RunUntil(1 << 20)
+	if lower.Reads != 1 || l.Prefetch.Issued != 0 {
+		t.Fatalf("prefetching active while disabled: %d reads, %d issued", lower.Reads, l.Prefetch.Issued)
+	}
+}
+
+func TestPrefetchDefaultPoolSize(t *testing.T) {
+	var q event.Queue
+	cfg := pfCfg()
+	cfg.PrefetchMSHRs = 0 // default
+	l, err := New(&q, cfg, NewFixedLatency(&q, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.cfg.PrefetchMSHRs != 4 {
+		t.Fatalf("default prefetch pool = %d, want 4 (Table 1)", l.cfg.PrefetchMSHRs)
+	}
+}
+
+func TestSequentialStreamProfitsFromPrefetch(t *testing.T) {
+	// Walk 64 sequential lines with and without prefetching; prefetching
+	// must convert a large share of the demand misses into hits.
+	run := func(pf bool) (misses uint64) {
+		var q event.Queue
+		cfg := pfCfg()
+		cfg.PrefetchNextLine = pf
+		l, err := New(&q, cfg, NewFixedLatency(&q, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := uint64(0)
+		for i := 0; i < 64; i++ {
+			addr := uint64(0x100000 + i*64)
+			l.ReadLine(now, addr, Meta{}, nil)
+			now += 150 // enough time for fills and prefetches to land
+			q.RunUntil(now)
+		}
+		return l.Stats.Misses
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without/2 {
+		t.Fatalf("prefetching left %d misses of %d; want at least half removed", with, without)
+	}
+}

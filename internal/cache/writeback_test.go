@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"testing"
+
+	"smtdram/internal/event"
+)
+
+// These tests pin down the writeback-vs-store distinction: WriteLine is a
+// full-line writeback (installs directly, never fetches), Store is a CPU
+// store commit (write-allocate, fetch-on-write).
+
+func TestWritebackInstallsWithoutFetch(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 100)
+	l := newSmall(t, &q, lower)
+
+	if !l.WriteLine(0, 0x1000, Meta{}) {
+		t.Fatal("writeback rejected")
+	}
+	if lower.Reads != 0 {
+		t.Fatalf("writeback triggered %d fetches from below", lower.Reads)
+	}
+	if !l.Contains(0x1000) {
+		t.Fatal("writeback did not install the line")
+	}
+	// The installed line is dirty: evicting it must push it down.
+	l.ReadLine(10, 0x1000+512, Meta{}, nil)
+	l.ReadLine(10, 0x1000+1024, Meta{}, nil)
+	q.RunUntil(1 << 20)
+	if lower.Writes != 1 {
+		t.Fatalf("dirty writeback-installed victim produced %d lower writes, want 1", lower.Writes)
+	}
+}
+
+func TestStoreMissFetches(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 50)
+	l := newSmall(t, &q, lower)
+
+	if !l.Store(0, 0x2000, Meta{}) {
+		t.Fatal("store miss rejected")
+	}
+	q.RunUntil(1 << 20)
+	if lower.Reads != 1 {
+		t.Fatalf("store miss fetched %d lines, want 1 (write-allocate)", lower.Reads)
+	}
+	if !l.Contains(0x2000) {
+		t.Fatal("store miss did not allocate")
+	}
+}
+
+func TestWritebackMergesIntoPendingFill(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 100)
+	l := newSmall(t, &q, lower)
+
+	// Start a read fill, then write back the same line while it's in
+	// flight: the fill must land dirty (so eviction writes it down), and no
+	// extra fetch may be issued.
+	l.ReadLine(0, 0x3000, Meta{}, nil)
+	if !l.WriteLine(1, 0x3000, Meta{}) {
+		t.Fatal("writeback into pending fill rejected")
+	}
+	q.RunUntil(1 << 20)
+	if lower.Reads != 1 {
+		t.Fatalf("lower saw %d reads, want 1", lower.Reads)
+	}
+	// Evict: 2-way set, stride 512 in the small config.
+	l.ReadLine(500, 0x3000+512, Meta{}, nil)
+	l.ReadLine(500, 0x3000+1024, Meta{}, nil)
+	q.RunUntil(1 << 20)
+	if lower.Writes != 1 {
+		t.Fatalf("merged-dirty line not written back (%d writes)", lower.Writes)
+	}
+}
+
+func TestStoreHitDoesNotTouchLower(t *testing.T) {
+	var q event.Queue
+	lower := NewFixedLatency(&q, 50)
+	l := newSmall(t, &q, lower)
+	l.ReadLine(0, 0x100, Meta{}, nil)
+	q.RunUntil(1 << 20)
+	reads := lower.Reads
+	if !l.Store(100, 0x100, Meta{}) {
+		t.Fatal("store hit rejected")
+	}
+	if lower.Reads != reads || lower.Writes != 0 {
+		t.Fatal("store hit generated lower-level traffic")
+	}
+}
+
+func TestPerfectStoreAlwaysAccepts(t *testing.T) {
+	var q event.Queue
+	l, err := New(&q, Config{Name: "p", Latency: 1, Perfect: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !l.Store(0, uint64(i)*4096, Meta{}) {
+			t.Fatal("perfect level rejected store")
+		}
+	}
+}

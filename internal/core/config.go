@@ -1,0 +1,229 @@
+// Package core assembles the full simulated machine — SMT processor,
+// three-level cache hierarchy, and multi-channel DRAM system — and exposes
+// the configuration and run API used by the examples, the CLI, and the
+// benchmark harness that regenerates the paper's figures.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"smtdram/internal/addrmap"
+	"smtdram/internal/cache"
+	"smtdram/internal/cpu"
+	"smtdram/internal/dram"
+	"smtdram/internal/memctrl"
+)
+
+// DRAMKind selects the memory technology.
+type DRAMKind int
+
+const (
+	// DDR is the multi-channel DDR SDRAM system (16 B × 200 MHz DDR
+	// channels, 1 chip group × 4 banks per channel).
+	DDR DRAMKind = iota
+	// RDRAM is the Direct Rambus system (narrow 800 MT/s channels, 4 chips
+	// × 32 banks per channel).
+	RDRAM
+)
+
+func (k DRAMKind) String() string {
+	if k == RDRAM {
+		return "rdram"
+	}
+	return "ddr"
+}
+
+// ParseDRAMKind converts a CLI name.
+func ParseDRAMKind(s string) (DRAMKind, error) {
+	switch strings.ToLower(s) {
+	case "ddr":
+		return DDR, nil
+	case "rdram":
+		return RDRAM, nil
+	}
+	return 0, fmt.Errorf("core: unknown DRAM kind %q (want ddr or rdram)", s)
+}
+
+// MemConfig describes the main memory system.
+type MemConfig struct {
+	// Kind is the DRAM technology.
+	Kind DRAMKind
+	// PhysChannels is the number of physical channels (2/4/8 in the paper).
+	PhysChannels int
+	// Gang clusters this many physical channels into one logical channel
+	// ("4C-2G" = PhysChannels 4, Gang 2). DDR only.
+	Gang int
+	// PageMode is open or close page.
+	PageMode dram.PageMode
+	// Scheme is the address mapping scheme (page or XOR).
+	Scheme addrmap.Scheme
+	// Policy is the access-scheduling policy.
+	Policy memctrl.Policy
+	// QueueDepth and MaxInFlight tune the controller (0 = defaults).
+	QueueDepth  int
+	MaxInFlight int
+	// ThreadAwareFirst ranks the thread-aware criterion above hit-first,
+	// inverting the paper's recommended order (ablation only).
+	ThreadAwareFirst bool
+	// Refresh enables realistic all-bank refresh (7.8 µs interval, 70 ns
+	// duration at 3 GHz). Off by default: the paper does not model it, and
+	// its ~1% bandwidth tax is invisible at figure scale.
+	Refresh bool
+	// TurnaroundNS is the bus direction-switch penalty in nanoseconds
+	// (0 = ideal bus, the paper's assumption).
+	TurnaroundNS int
+	// Trace, when non-nil, receives one event per serviced DRAM request.
+	Trace func(memctrl.TraceEvent)
+}
+
+// LogicalChannels returns the post-ganging channel count.
+func (m MemConfig) LogicalChannels() (int, error) {
+	ch, _, err := addrmap.Gang(m.PhysChannels, m.Gang, 16)
+	return ch, err
+}
+
+// Geometry builds the logical DRAM geometry.
+func (m MemConfig) Geometry() (addrmap.Geometry, error) {
+	ch, err := m.LogicalChannels()
+	if err != nil {
+		return addrmap.Geometry{}, err
+	}
+	g := addrmap.Geometry{
+		Channels:  ch,
+		PageBytes: 2048,
+		LineBytes: 64,
+	}
+	switch m.Kind {
+	case DDR:
+		g.ChipsPerChannel = 1
+		g.BanksPerChip = 4
+	case RDRAM:
+		if m.Gang != 1 {
+			return addrmap.Geometry{}, fmt.Errorf("core: RDRAM channels cannot be ganged")
+		}
+		g.ChipsPerChannel = 4
+		g.BanksPerChip = 32
+	}
+	return g, nil
+}
+
+// Params builds the per-logical-channel DRAM timing.
+func (m MemConfig) Params() (dram.Params, error) {
+	var p dram.Params
+	switch m.Kind {
+	case DDR:
+		_, width, err := addrmap.Gang(m.PhysChannels, m.Gang, 16)
+		if err != nil {
+			return dram.Params{}, err
+		}
+		p = dram.DDRParams(width, 64, m.PageMode)
+	case RDRAM:
+		p = dram.RDRAMParams(64, m.PageMode)
+	default:
+		return dram.Params{}, fmt.Errorf("core: unknown DRAM kind %d", m.Kind)
+	}
+	if m.Refresh {
+		p.RefreshInterval = 23400 // 7.8 µs at 3 GHz
+		p.RefreshDuration = 210   // 70 ns
+	}
+	p.Turnaround = uint64(m.TurnaroundNS) * 3
+	return p, nil
+}
+
+// Config is the full machine + experiment configuration.
+type Config struct {
+	// Apps names the application run on each hardware thread (Table 2
+	// mixes, or any subset of the 26 modeled SPEC2000 apps). When Sources
+	// is set, Apps only labels the threads.
+	Apps []string
+	// Sources, when non-nil, supplies each thread's instruction stream
+	// directly — e.g. workload.Replay traces recorded with
+	// workload.Record — instead of the synthetic generators. Must match
+	// Apps in length.
+	Sources []cpu.Source
+	// Seed drives all generators; same seed = same simulation.
+	Seed int64
+	// WarmupInstr is the per-thread instruction count retired before
+	// measurement starts, mirroring the paper's cache warmup during
+	// fast-forward. Stats are snapshotted when the last thread crosses it.
+	WarmupInstr uint64
+	// TargetInstr is the per-thread committed-instruction goal past warmup;
+	// per the paper's methodology a thread's IPC is measured when it crosses
+	// the target, and it keeps running to preserve contention.
+	TargetInstr uint64
+	// MaxCycles bounds the simulation (0 = auto: 400 cycles/instruction).
+	MaxCycles uint64
+
+	// CPU is the core configuration (Table 1 defaults).
+	CPU cpu.Config
+	// Mem is the DRAM system configuration.
+	Mem MemConfig
+
+	// Cache geometry (Table 1 defaults via DefaultConfig).
+	L1I, L1D, L2, L3 cache.Config
+
+	// PerfectL1/L2/L3 model the paper's infinitely large caches for CPI
+	// breakdown: PerfectL3 removes all DRAM traffic, PerfectL2 removes L3
+	// and DRAM traffic, PerfectL1 isolates CPIproc.
+	PerfectL1, PerfectL2, PerfectL3 bool
+}
+
+// DefaultConfig returns the paper's Table 1 machine running the given apps
+// on a 2-channel DDR system with the DWarn fetch policy, XOR mapping, open
+// page, and hit-first scheduling (the paper's baseline for Sections 5.1-5.4).
+func DefaultConfig(apps ...string) Config {
+	return Config{
+		Apps:        apps,
+		Seed:        42,
+		WarmupInstr: 100_000,
+		TargetInstr: 200_000,
+		CPU:         cpu.DefaultConfig(),
+		Mem: MemConfig{
+			Kind:         DDR,
+			PhysChannels: 2,
+			Gang:         1,
+			PageMode:     dram.OpenPage,
+			Scheme:       addrmap.XOR,
+			Policy:       memctrl.HitFirst,
+		},
+		L1I: cache.Config{Name: "L1I", SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, Latency: 1, MSHRs: 16},
+		L1D: cache.Config{Name: "L1D", SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, Latency: 1, MSHRs: 16},
+		L2:  cache.Config{Name: "L2", SizeBytes: 512 << 10, Assoc: 2, LineBytes: 64, Latency: 10, MSHRs: 16},
+		L3:  cache.Config{Name: "L3", SizeBytes: 4 << 20, Assoc: 4, LineBytes: 64, Latency: 20, MSHRs: 16},
+	}
+}
+
+// Validate rejects incoherent configurations.
+func (c Config) Validate() error {
+	if len(c.Apps) == 0 {
+		return fmt.Errorf("core: no applications configured")
+	}
+	if c.TargetInstr == 0 {
+		return fmt.Errorf("core: zero instruction target")
+	}
+	if c.Sources != nil && len(c.Sources) != len(c.Apps) {
+		return fmt.Errorf("core: %d sources for %d threads", len(c.Sources), len(c.Apps))
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if _, err := c.Mem.Geometry(); err != nil {
+		return err
+	}
+	if _, err := c.Mem.Params(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c Config) maxCycles() uint64 {
+	if c.MaxCycles > 0 {
+		return c.MaxCycles
+	}
+	mc := (c.WarmupInstr + c.TargetInstr) * 400
+	if mc < 2_000_000 {
+		mc = 2_000_000
+	}
+	return mc
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"smtdram/internal/memctrl"
+)
+
+// End-to-end coverage for the beyond-the-paper extensions: refresh, bus
+// turnaround, prefetching, the criticality policy, and DRAM tracing.
+
+func TestRefreshCostsPerformance(t *testing.T) {
+	ideal, err := Run(fastCfg("swim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg("swim")
+	cfg.Mem.Refresh = true
+	refreshed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh is a small tax: it must cost something but not cripple.
+	if refreshed.IPC[0] > ideal.IPC[0] {
+		t.Fatalf("refresh improved IPC: %.4f vs %.4f", refreshed.IPC[0], ideal.IPC[0])
+	}
+	if refreshed.IPC[0] < ideal.IPC[0]*0.8 {
+		t.Fatalf("refresh cost %.1f%%, implausibly high",
+			100*(1-refreshed.IPC[0]/ideal.IPC[0]))
+	}
+}
+
+func TestTurnaroundCostsPerformance(t *testing.T) {
+	ideal, err := Run(fastCfg("swim", "lucas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg("swim", "lucas")
+	cfg.Mem.TurnaroundNS = 10
+	pen, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen.TotalIPC() > ideal.TotalIPC() {
+		t.Fatalf("turnaround penalty improved IPC: %.4f vs %.4f", pen.TotalIPC(), ideal.TotalIPC())
+	}
+}
+
+func TestPrefetchHelpsStreamingEndToEnd(t *testing.T) {
+	off, err := Run(fastCfg("swim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg("swim")
+	cfg.L2.PrefetchNextLine = true
+	on, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.IPC[0] <= off.IPC[0] {
+		t.Fatalf("L2 next-line prefetch did not help swim: %.3f vs %.3f", on.IPC[0], off.IPC[0])
+	}
+}
+
+func TestCriticalityPolicyEndToEnd(t *testing.T) {
+	cfg := fastCfg("gzip", "mcf")
+	cfg.Mem.Policy = memctrl.CriticalityBased
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIPC() <= 0 {
+		t.Fatal("criticality-based run made no progress")
+	}
+}
+
+func TestTraceEventsConsistent(t *testing.T) {
+	var events []memctrl.TraceEvent
+	cfg := fastCfg("mcf", "ammp")
+	cfg.Mem.Trace = func(e memctrl.TraceEvent) { events = append(events, e) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) < res.MemReads {
+		t.Fatalf("traced %d events but measured %d reads", len(events), res.MemReads)
+	}
+	geo, _ := cfg.Mem.Geometry()
+	var reads uint64
+	for _, e := range events {
+		if e.Done <= e.Issue || e.Issue < e.Arrive {
+			t.Fatalf("event time travel: %+v", e)
+		}
+		if e.Channel < 0 || e.Channel >= geo.Channels ||
+			e.Bank < 0 || e.Bank >= geo.BanksPerChip ||
+			e.Chip < 0 || e.Chip >= geo.ChipsPerChannel {
+			t.Fatalf("event location out of range: %+v", e)
+		}
+		if e.Read {
+			reads++
+			if e.Thread < 0 || e.Thread > 1 {
+				t.Fatalf("read from thread %d", e.Thread)
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no read events traced")
+	}
+}
+
+func TestThreadAwareFirstPlumbing(t *testing.T) {
+	cfg := fastCfg("mcf", "ammp")
+	cfg.Mem.Policy = memctrl.RequestBased
+	cfg.Mem.ThreadAwareFirst = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIPC() <= 0 {
+		t.Fatal("inverted-priority run made no progress")
+	}
+}

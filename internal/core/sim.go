@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+
+	"smtdram/internal/addrmap"
+	"smtdram/internal/cache"
+	"smtdram/internal/cpu"
+	"smtdram/internal/event"
+	"smtdram/internal/memctrl"
+	"smtdram/internal/stats"
+	"smtdram/internal/workload"
+)
+
+// CacheSnapshot is one level's counters at end of run.
+type CacheSnapshot struct {
+	Name       string
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+	MissRate   float64
+}
+
+// Result is everything a single simulation measures.
+type Result struct {
+	// Cycles is the total simulated cycle count.
+	Cycles uint64
+	// TimedOut is set when MaxCycles elapsed before every thread reached
+	// the instruction target; IPCs then reflect partial progress.
+	TimedOut bool
+
+	// Per-thread results, index = hardware thread.
+	Apps      []string
+	Committed []uint64
+	IPC       []float64
+	Squashes  []uint64
+
+	// Memory-system results.
+	MemReads           uint64
+	MemWrites          uint64
+	MemReadsPer100Inst float64
+	AvgReadLatency     float64
+	// ThreadAvgReadLatency is the mean DRAM read latency per thread.
+	ThreadAvgReadLatency []float64
+	RowHits              uint64
+	RowClosed            uint64
+	RowConflicts         uint64
+	RowBufferMissRate    float64
+	OutstandingHist      []uint64
+	ThreadSpreadHist     []uint64
+
+	// Cache results, L1I/L1D/L2/L3 order.
+	Caches []CacheSnapshot
+}
+
+// TotalIPC is the sum of per-thread IPCs (the throughput metric).
+func (r Result) TotalIPC() float64 {
+	var s float64
+	for _, v := range r.IPC {
+		s += v
+	}
+	return s
+}
+
+// Simulator is an assembled machine, ready to run once.
+type Simulator struct {
+	cfg  Config
+	q    event.Queue
+	cpu  *cpu.CPU
+	ctrl *memctrl.Controller
+	l1i  *cache.Level
+	l1d  *cache.Level
+	l2   *cache.Level
+	l3   *cache.Level
+}
+
+// NewSimulator builds the machine described by cfg.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg}
+
+	geo, err := cfg.Mem.Geometry()
+	if err != nil {
+		return nil, err
+	}
+	params, err := cfg.Mem.Params()
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := addrmap.NewMapper(geo, cfg.Mem.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	s.ctrl, err = memctrl.New(&s.q, memctrl.Config{
+		Mapper:           mapper,
+		Params:           params,
+		Policy:           cfg.Mem.Policy,
+		QueueDepth:       cfg.Mem.QueueDepth,
+		MaxInFlight:      cfg.Mem.MaxInFlight,
+		ThreadAwareFirst: cfg.Mem.ThreadAwareFirst,
+		Trace:            cfg.Mem.Trace,
+		Threads:          len(cfg.Apps),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	l3cfg := cfg.L3
+	l3cfg.Perfect = l3cfg.Perfect || cfg.PerfectL3
+	l2cfg := cfg.L2
+	l2cfg.Perfect = l2cfg.Perfect || cfg.PerfectL2
+	l1dcfg := cfg.L1D
+	l1icfg := cfg.L1I
+	l1dcfg.Perfect = l1dcfg.Perfect || cfg.PerfectL1
+	l1icfg.Perfect = l1icfg.Perfect || cfg.PerfectL1
+
+	s.l3, err = cache.New(&s.q, l3cfg, cache.NewMemBackend(&s.q, s.ctrl))
+	if err != nil {
+		return nil, err
+	}
+	s.l2, err = cache.New(&s.q, l2cfg, s.l3)
+	if err != nil {
+		return nil, err
+	}
+	s.l1d, err = cache.New(&s.q, l1dcfg, s.l2)
+	if err != nil {
+		return nil, err
+	}
+	s.l1i, err = cache.New(&s.q, l1icfg, s.l2)
+	if err != nil {
+		return nil, err
+	}
+
+	gens := make([]cpu.Source, len(cfg.Apps))
+	for i, name := range cfg.Apps {
+		if cfg.Sources != nil {
+			gens[i] = cfg.Sources[i]
+			continue
+		}
+		app, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := workload.NewGen(app, i, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	s.cpu, err = cpu.New(&s.q, cfg.CPU, gens, s.l1i, s.l1d)
+	if err != nil {
+		return nil, err
+	}
+	s.cpu.SetTarget(cfg.WarmupInstr, cfg.TargetInstr)
+	s.cpu.SetMemPressure(s.ctrl.Outstanding)
+	return s, nil
+}
+
+// snapshot captures every cumulative counter at measurement start so warmup
+// activity is excluded from results.
+type snapshot struct {
+	mem       memctrl.Stats
+	rowHits   uint64
+	rowClosed uint64
+	rowConf   uint64
+	caches    []cache.Stats
+	committed []uint64
+	taken     bool
+	atCycle   uint64
+}
+
+func (s *Simulator) takeSnapshot(now uint64) snapshot {
+	sn := snapshot{mem: s.ctrl.Stats, taken: true, atCycle: now}
+	sn.rowHits, sn.rowClosed, sn.rowConf = s.ctrl.RowBufferStats()
+	for _, l := range []*cache.Level{s.l1i, s.l1d, s.l2, s.l3} {
+		sn.caches = append(sn.caches, l.Stats)
+	}
+	for i := range s.cfg.Apps {
+		sn.committed = append(sn.committed, s.cpu.Committed(i))
+	}
+	return sn
+}
+
+// Run executes the simulation to completion (every thread warms up and then
+// reaches the target, or MaxCycles elapse) and returns measurements covering
+// only the post-warmup window.
+func (s *Simulator) Run() (Result, error) {
+	limit := s.cfg.maxCycles()
+	var now uint64
+	var sn snapshot
+	if s.cfg.WarmupInstr == 0 {
+		sn = s.takeSnapshot(0)
+	}
+	for now = 1; now <= limit; now++ {
+		s.q.RunUntil(now)
+		s.cpu.Tick(now)
+		if !sn.taken && s.cpu.AllWarmed() {
+			s.ctrl.FinishStats(now)
+			sn = s.takeSnapshot(now)
+		}
+		if sn.taken && s.cpu.AllFinished() {
+			break
+		}
+	}
+	if !sn.taken {
+		// Timed out during warmup: report whole-run (cold) measurements
+		// rather than an empty window.
+		sn = snapshot{
+			taken:     true,
+			caches:    make([]cache.Stats, 4),
+			committed: make([]uint64, len(s.cfg.Apps)),
+		}
+	}
+	s.ctrl.FinishStats(now)
+	return s.collect(now, sn)
+}
+
+func (s *Simulator) collect(now uint64, sn snapshot) (Result, error) {
+	r := Result{
+		Cycles:   now - sn.atCycle,
+		TimedOut: !s.cpu.AllFinished(),
+		Apps:     append([]string(nil), s.cfg.Apps...),
+	}
+	var totalCommitted uint64
+	for i := range s.cfg.Apps {
+		committed := s.cpu.Committed(i) - sn.committed[i]
+		totalCommitted += committed
+		fin, warm := s.cpu.FinishedAt(i), s.cpu.WarmedAt(i)
+		var ipc float64
+		switch {
+		case fin > 0 && fin > warm:
+			ipc = float64(s.cfg.TargetInstr) / float64(fin-warm)
+		case r.Cycles > 0:
+			ipc = float64(committed) / float64(r.Cycles)
+		}
+		if ipc <= 0 {
+			return r, fmt.Errorf("core: thread %d (%s) made no progress in %d cycles", i, s.cfg.Apps[i], now)
+		}
+		r.Committed = append(r.Committed, committed)
+		r.IPC = append(r.IPC, ipc)
+		r.Squashes = append(r.Squashes, s.cpu.Squashes(i))
+	}
+
+	st := &s.ctrl.Stats
+	r.MemReads, r.MemWrites = st.Reads-sn.mem.Reads, st.Writes-sn.mem.Writes
+	if totalCommitted > 0 {
+		r.MemReadsPer100Inst = 100 * float64(r.MemReads) / float64(totalCommitted)
+	}
+	if r.MemReads > 0 {
+		r.AvgReadLatency = float64(st.ReadLatencySum-sn.mem.ReadLatencySum) / float64(r.MemReads)
+	}
+	for i := range s.cfg.Apps {
+		if i >= len(st.ThreadReads) {
+			break
+		}
+		n := st.ThreadReads[i] - sn.mem.ThreadReads[i]
+		var lat float64
+		if n > 0 {
+			lat = float64(st.ThreadReadLatencySum[i]-sn.mem.ThreadReadLatencySum[i]) / float64(n)
+		}
+		r.ThreadAvgReadLatency = append(r.ThreadAvgReadLatency, lat)
+	}
+	hits, closed, conf := s.ctrl.RowBufferStats()
+	r.RowHits, r.RowClosed, r.RowConflicts = hits-sn.rowHits, closed-sn.rowClosed, conf-sn.rowConf
+	if total := r.RowHits + r.RowClosed + r.RowConflicts; total > 0 {
+		r.RowBufferMissRate = float64(r.RowClosed+r.RowConflicts) / float64(total)
+	}
+	r.OutstandingHist = make([]uint64, len(st.OutstandingHist))
+	r.ThreadSpreadHist = make([]uint64, len(st.ThreadSpreadHist))
+	for i := range st.OutstandingHist {
+		r.OutstandingHist[i] = st.OutstandingHist[i] - sn.mem.OutstandingHist[i]
+		r.ThreadSpreadHist[i] = st.ThreadSpreadHist[i] - sn.mem.ThreadSpreadHist[i]
+	}
+
+	levels := []*cache.Level{s.l1i, s.l1d, s.l2, s.l3}
+	for li, l := range levels {
+		base := sn.caches[li]
+		acc := l.Stats.Accesses - base.Accesses
+		miss := l.Stats.Misses - base.Misses
+		var mr float64
+		if acc > 0 {
+			mr = float64(miss) / float64(acc)
+		}
+		r.Caches = append(r.Caches, CacheSnapshot{
+			Name:       l.Name(),
+			Accesses:   acc,
+			Misses:     miss,
+			Writebacks: l.Stats.Writebacks - base.Writebacks,
+			MissRate:   mr,
+		})
+	}
+	return r, nil
+}
+
+// Run builds and runs a machine in one call.
+func Run(cfg Config) (Result, error) {
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// RunAlone runs a single application on the machine described by cfg
+// (ignoring cfg.Apps) and returns its IPC — the denominator of weighted
+// speedup.
+func RunAlone(cfg Config, app string) (float64, error) {
+	cfg.Apps = []string{app}
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.IPC[0], nil
+}
+
+// WeightedSpeedup runs cfg's mix and divides by single-thread baselines on
+// the identical machine, caching baselines in baselineCache (keyed by app
+// name) when non-nil so figure sweeps don't rerun them.
+func WeightedSpeedup(cfg Config, baselineCache map[string]float64) (float64, Result, error) {
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	alone := make([]float64, len(cfg.Apps))
+	for i, app := range cfg.Apps {
+		if baselineCache != nil {
+			if v, ok := baselineCache[app]; ok {
+				alone[i] = v
+				continue
+			}
+		}
+		v, err := RunAlone(cfg, app)
+		if err != nil {
+			return 0, Result{}, err
+		}
+		if baselineCache != nil {
+			baselineCache[app] = v
+		}
+		alone[i] = v
+	}
+	ws, err := stats.WeightedSpeedup(res.IPC, alone)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	return ws, res, nil
+}
+
+// CPIBreakdown runs the paper's four-configuration CPI attribution for a
+// single application (Section 4.2): realistic, perfect L3, perfect L2,
+// perfect L1.
+func CPIBreakdown(cfg Config, app string) (stats.Breakdown, error) {
+	cfg.Apps = []string{app}
+	cpiOf := func(mut func(*Config)) (float64, error) {
+		c := cfg
+		mut(&c)
+		res, err := Run(c)
+		if err != nil {
+			return 0, err
+		}
+		return 1 / res.IPC[0], nil
+	}
+	overall, err := cpiOf(func(*Config) {})
+	if err != nil {
+		return stats.Breakdown{}, err
+	}
+	pL3, err := cpiOf(func(c *Config) { c.PerfectL3 = true })
+	if err != nil {
+		return stats.Breakdown{}, err
+	}
+	pL2, err := cpiOf(func(c *Config) { c.PerfectL2 = true })
+	if err != nil {
+		return stats.Breakdown{}, err
+	}
+	proc, err := cpiOf(func(c *Config) { c.PerfectL1 = true })
+	if err != nil {
+		return stats.Breakdown{}, err
+	}
+	return stats.NewBreakdown(overall, pL3, pL2, proc), nil
+}

@@ -1,0 +1,792 @@
+// Package cpu models the SMT out-of-order processor core: per-thread PCs and
+// reorder buffers, shared fetch bandwidth, issue queues, functional units and
+// caches, the four instruction-fetch policies the paper compares, branch
+// misprediction squash with replay, and MSHR-limited non-blocking loads.
+//
+// The core is cycle-stepped; the memory subsystem below it is event-driven.
+// It is not an ISA interpreter: instructions come from the synthetic
+// per-application generators in internal/workload, which preserve exactly
+// the properties the paper's memory-system study depends on (clustered
+// misses, bounded MLP, resource occupancy under stall). See DESIGN.md §2.
+package cpu
+
+import (
+	"fmt"
+
+	"smtdram/internal/cache"
+	"smtdram/internal/event"
+	"smtdram/internal/mem"
+	"smtdram/internal/workload"
+)
+
+// Config sizes the core, following Table 1 of the paper.
+type Config struct {
+	FetchWidth        int         // instructions fetched per cycle (8)
+	FetchMaxThreads   int         // threads sharing one cycle's fetch (2)
+	FrontendDelay     uint64      // fetch→dispatch latency, from the 11-stage pipe (8)
+	FrontendCap       int         // per-thread fetch buffer entries (64: covers FetchWidth × FrontendDelay)
+	DispatchWidth     int         // instructions dispatched per cycle (8)
+	IntIssueWidth     int         // 8
+	FPIssueWidth      int         // 4
+	IntIQ             int         // shared integer issue-queue entries (64)
+	FPIQ              int         // shared FP issue-queue entries (32)
+	ROBPerThread      int         // reorder-buffer entries per thread (256)
+	LQ, SQ            int         // shared load/store queue entries (64/64)
+	IntALU, IntMult   int         // 6, 6
+	FPALU, FPMult     int         // 2, 2
+	CommitWidth       int         // 8
+	MispredictPenalty uint64      // 9 cycles
+	L1DLatency        uint64      // used to classify in-flight loads as misses (1)
+	L2Latency         uint64      // used to classify in-flight loads as L2 misses (10)
+	Policy            FetchPolicy // instruction fetch policy
+	// MissIQAllowance caps the issue-queue entries a thread may hold while
+	// it is experiencing a miss, under the miss-aware fetch policies
+	// (FetchStall, DG, DWarn). Real machines get this bound for free from
+	// their shallow decode/rename stages: once fetch is gated, at most a
+	// couple of fetch blocks can still dispatch. Our frontend buffer is
+	// deep (it models the whole 8-wide × 8-stage pipe), so the gate is
+	// applied at dispatch instead. ICOUNT has no such gate — which is
+	// exactly why it clogs on MEM-heavy mixes in the paper.
+	MissIQAllowance int
+}
+
+// DefaultConfig returns the paper's Table 1 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		FetchMaxThreads:   2,
+		FrontendDelay:     8,
+		FrontendCap:       64,
+		DispatchWidth:     8,
+		IntIssueWidth:     8,
+		FPIssueWidth:      4,
+		IntIQ:             64,
+		FPIQ:              32,
+		ROBPerThread:      256,
+		LQ:                64,
+		SQ:                64,
+		IntALU:            6,
+		IntMult:           6,
+		FPALU:             2,
+		FPMult:            2,
+		CommitWidth:       8,
+		MispredictPenalty: 9,
+		L1DLatency:        1,
+		L2Latency:         10,
+		Policy:            DWarn,
+		MissIQAllowance:   8,
+	}
+}
+
+// Validate rejects configurations the simulator cannot run.
+func (c Config) Validate() error {
+	for _, v := range []int{
+		c.FetchWidth, c.FetchMaxThreads, c.FrontendCap, c.DispatchWidth,
+		c.IntIssueWidth, c.FPIssueWidth, c.IntIQ, c.FPIQ, c.ROBPerThread,
+		c.LQ, c.SQ, c.IntALU, c.IntMult, c.FPALU, c.FPMult, c.CommitWidth,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("cpu: non-positive config field in %+v", c)
+		}
+	}
+	return nil
+}
+
+// uop states.
+const (
+	stWaiting uint8 = iota // in ROB and issue queue
+	stIssued               // executing (or load in flight)
+	stDone                 // result available
+)
+
+const noDep = ^uint64(0)
+const pendingDone = ^uint64(0)
+
+// uop is one in-flight instruction.
+type uop struct {
+	in         workload.Instr // retained for replay after squash
+	seq        uint64
+	epoch      uint64
+	tid        int32 // owning hardware thread
+	state      uint8
+	doneAt     uint64 // pendingDone while a load is in flight
+	issuedAt   uint64
+	dep1, dep2 uint64 // absolute producer sequence numbers (noDep = none)
+}
+
+type feEntry struct {
+	in      workload.Instr
+	readyAt uint64 // cycle the instruction reaches dispatch
+}
+
+// thread is the per-hardware-thread state.
+type thread struct {
+	id  int
+	gen Source
+
+	peeked    *workload.Instr
+	replay    []workload.Instr
+	frontend  []feEntry
+	rob       []uop
+	headSeq   uint64
+	nextSeq   uint64
+	epoch     uint64
+	iqInt     int
+	iqFP      int
+	lq, sq    int // this thread's LQ/SQ occupancy
+	committed uint64
+
+	inFlight []*uop // loads in flight, issue order (for miss classification)
+
+	curILine          uint64
+	imissPending      bool
+	fetchBlockedUntil uint64
+
+	// warmedAt/finishedAt are the cycles the thread crossed the warmup and
+	// warmup+target instruction counts (0 while running); the run harness
+	// computes IPC as target/(finishedAt-warmedAt).
+	warmedAt   uint64
+	finishedAt uint64
+
+	// stats
+	squashes uint64
+	loads    uint64
+	stores   uint64
+	imisses  uint64
+}
+
+func (t *thread) robCount() int { return int(t.nextSeq - t.headSeq) }
+
+// hasL1DMiss reports whether the thread is experiencing a data-cache miss:
+// its oldest in-flight load has been outstanding longer than an L1 hit.
+func (t *thread) hasL1DMiss(now uint64, cfg Config) bool {
+	return t.oldestLoadAge(now) > cfg.L1DLatency+2
+}
+
+// hasL2Miss reports whether the oldest in-flight load has been outstanding
+// longer than an L2 hit would take.
+func (t *thread) hasL2Miss(now uint64, cfg Config) bool {
+	return t.oldestLoadAge(now) > cfg.L1DLatency+cfg.L2Latency+4
+}
+
+func (t *thread) oldestLoadAge(now uint64) uint64 {
+	for len(t.inFlight) > 0 {
+		u := t.inFlight[0]
+		if u.state == stDone || (u.state == stIssued && u.doneAt <= now) || u.in.Kind != workload.Load {
+			t.inFlight = t.inFlight[1:]
+			continue
+		}
+		return now - u.issuedAt
+	}
+	return 0
+}
+
+// next peeks the next instruction to fetch without consuming it.
+func (t *thread) next() *workload.Instr {
+	if t.peeked == nil {
+		var in workload.Instr
+		if len(t.replay) > 0 {
+			in = t.replay[0]
+			t.replay = t.replay[1:]
+		} else {
+			in = t.gen.Next()
+		}
+		t.peeked = &in
+	}
+	return t.peeked
+}
+
+func (t *thread) consume() workload.Instr {
+	in := *t.peeked
+	t.peeked = nil
+	return in
+}
+
+type pendingStore struct {
+	addr uint64
+	meta cache.Meta
+}
+
+// CPU is the simulated SMT processor.
+type CPU struct {
+	cfg      Config
+	q        *event.Queue
+	threads  []*thread
+	l1i, l1d *cache.Level
+
+	waiting []*uop // issue-queue contents in dispatch order
+
+	rrFetch    int
+	rrDispatch int
+	rrCommit   int
+
+	intIQUsed, fpIQUsed int
+	lqUsed, sqUsed      int
+
+	pendingStores []pendingStore
+
+	scratchThreads []*thread
+
+	warmup uint64 // per-thread instructions to retire before measurement
+	target uint64 // per-thread committed-instruction goal past warmup (0 = none)
+
+	// memPressure, when set, reports a thread's pending DRAM request count
+	// (the Coop fetch policy's input; see SetMemPressure).
+	memPressure func(thread int) int
+
+	// Stats
+	Cycles         uint64
+	TotalCommitted uint64
+}
+
+// Source produces a thread's dynamic instruction stream. *workload.Gen is
+// the production implementation; tests substitute scripted streams.
+type Source interface {
+	Next() workload.Instr
+}
+
+// New assembles a CPU over the given per-thread instruction sources and L1
+// caches.
+func New(q *event.Queue, cfg Config, gens []Source, l1i, l1d *cache.Level) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("cpu: no threads")
+	}
+	c := &CPU{
+		cfg: cfg, q: q, l1i: l1i, l1d: l1d,
+		scratchThreads: make([]*thread, 0, len(gens)),
+	}
+	for i, g := range gens {
+		t := &thread{
+			id:       i,
+			gen:      g,
+			rob:      make([]uop, cfg.ROBPerThread),
+			curILine: ^uint64(0),
+		}
+		c.threads = append(c.threads, t)
+	}
+	return c, nil
+}
+
+// Threads returns the hardware thread count.
+func (c *CPU) Threads() int { return len(c.threads) }
+
+// Committed returns instructions retired by thread i.
+func (c *CPU) Committed(i int) uint64 { return c.threads[i].committed }
+
+// FinishedAt returns the cycle thread i crossed the target set by
+// SetTarget, or 0 if it has not.
+func (c *CPU) FinishedAt(i int) uint64 { return c.threads[i].finishedAt }
+
+// Squashes returns thread i's branch-mispredict squash count.
+func (c *CPU) Squashes(i int) uint64 { return c.threads[i].squashes }
+
+// LoadsStores returns thread i's issued memory-operation counts.
+func (c *CPU) LoadsStores(i int) (loads, stores uint64) {
+	return c.threads[i].loads, c.threads[i].stores
+}
+
+// IMisses returns thread i's instruction-cache miss count.
+func (c *CPU) IMisses(i int) uint64 { return c.threads[i].imisses }
+
+// SetMemPressure wires the memory controller's live per-thread pending
+// request counts into the Coop fetch policy.
+func (c *CPU) SetMemPressure(f func(thread int) int) { c.memPressure = f }
+
+// SetTarget arms per-thread completion bookkeeping: each thread first
+// retires warmup instructions (cache warmup, mirroring the paper's
+// fast-forward), then the CPU records warmedAt, and finishedAt once target
+// further instructions commit. Threads keep executing past their target (to
+// preserve contention), as in the paper's methodology.
+func (c *CPU) SetTarget(warmup, target uint64) {
+	c.warmup = warmup
+	c.target = target
+}
+
+// WarmedAt returns the cycle thread i finished its warmup instructions
+// (0 while still warming when a warmup was configured).
+func (c *CPU) WarmedAt(i int) uint64 { return c.threads[i].warmedAt }
+
+// AllWarmed reports whether every thread has completed warmup.
+func (c *CPU) AllWarmed() bool {
+	if c.warmup == 0 {
+		return true
+	}
+	for _, t := range c.threads {
+		if t.warmedAt == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinished reports whether every thread has crossed the target.
+func (c *CPU) AllFinished() bool {
+	for _, t := range c.threads {
+		if t.finishedAt == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the core by one cycle. The caller must have run the event
+// queue up to now first.
+func (c *CPU) Tick(now uint64) {
+	c.Cycles++
+	c.commit(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+	c.drainStores(now)
+}
+
+// meta builds the thread-state snapshot piggybacked on memory requests.
+func (c *CPU) meta(t *thread, critical bool) cache.Meta {
+	return cache.Meta{
+		Thread:   t.id,
+		Critical: critical,
+		State: mem.ThreadState{
+			Outstanding:  len(t.inFlight),
+			ROBOccupancy: t.robCount(),
+			IQOccupancy:  t.iqInt,
+		},
+	}
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (c *CPU) fetch(now uint64) {
+	order := c.fetchOrder(now)
+	if len(order) > c.cfg.FetchMaxThreads {
+		order = order[:c.cfg.FetchMaxThreads]
+	}
+	budget := c.cfg.FetchWidth
+	for _, t := range order {
+		if budget == 0 {
+			break
+		}
+		budget = c.fetchThread(now, t, budget)
+	}
+}
+
+// fetchThread fetches up to budget instructions for t, stopping at a taken
+// branch, an I-cache line miss, or a full frontend. It returns the remaining
+// budget.
+func (c *CPU) fetchThread(now uint64, t *thread, budget int) int {
+	for budget > 0 && len(t.frontend) < c.cfg.FrontendCap {
+		in := t.next()
+		line := in.PC &^ 63
+		if line != t.curILine {
+			hit, accepted := c.l1i.Probe(now, line, c.meta(t, false), func(epoch uint64) func(uint64) {
+				return func(uint64) {
+					if t.epoch == epoch {
+						t.imissPending = false
+						t.curILine = line
+					}
+				}
+			}(t.epoch))
+			if !hit {
+				if accepted {
+					t.imissPending = true
+					t.imisses++
+				}
+				return budget // stalls this thread; instruction stays peeked
+			}
+			t.curILine = line
+		}
+		inst := t.consume()
+		t.frontend = append(t.frontend, feEntry{in: inst, readyAt: now + c.cfg.FrontendDelay})
+		budget--
+		if inst.Kind == workload.Branch && inst.Taken {
+			break // a taken branch ends the fetch block
+		}
+	}
+	return budget
+}
+
+// ---------------------------------------------------------------- dispatch
+
+func (c *CPU) dispatch(now uint64) {
+	budget := c.cfg.DispatchWidth
+	n := len(c.threads)
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(i+c.rrDispatch)%n]
+		for budget > 0 {
+			if len(t.frontend) == 0 || t.frontend[0].readyAt > now {
+				break
+			}
+			if c.dispatchGated(now, t) {
+				break
+			}
+			if !c.dispatchOne(t) {
+				break
+			}
+			budget--
+		}
+	}
+	c.rrDispatch++
+}
+
+// dispatchGated applies the fetch policies' resource feedback at the
+// dispatch stage: when the shared issue queues are under pressure, a thread
+// the policy considers stalled may not grow its share past an allowance.
+//
+// Under the miss-aware policies (FetchStall, DG, DWarn) the allowance is
+// MissIQAllowance for threads experiencing a miss. Under ICOUNT the
+// allowance is the equal share of the queues — ICOUNT's priority function
+// drives every thread's in-flight count toward the mean, which caps a
+// stalled thread's occupancy near the equal-share point but no lower; this
+// is exactly why ICOUNT survives at 2–4 threads but clogs on 8-thread MEM
+// mixes in the paper, where even equal shares saturate the queues.
+func (c *CPU) dispatchGated(now uint64, t *thread) bool {
+	n := len(c.threads)
+	if n == 1 {
+		return false
+	}
+	total := c.cfg.IntIQ + c.cfg.FPIQ
+	switch c.cfg.Policy {
+	case FetchStall:
+		return t.hasL2Miss(now, c.cfg) && t.iqInt+t.iqFP >= c.missAllowance(total, n)
+	case DG, DWarn, Coop:
+		return t.hasL1DMiss(now, c.cfg) && t.iqInt+t.iqFP >= c.missAllowance(total, n)
+	case ICOUNT, RoundRobin:
+		// ICOUNT's fetch feedback equalizes per-thread in-flight counts at
+		// an equilibrium set by the front-end depth, independent of thread
+		// count: roughly a quarter of the queue capacity here. With few
+		// threads that leaves slack; with eight threads the equal shares sum
+		// to well past capacity — ICOUNT clogs, exactly as in the paper.
+		return t.iqInt+t.iqFP >= total/4
+	default:
+		return false
+	}
+}
+
+// missAllowance is the issue-queue share a stalled thread may keep under the
+// miss-aware policies: half its equal share, floored at MissIQAllowance. At
+// two threads this leaves plenty of memory-level parallelism to the stalled
+// thread (the queues are not contended); at eight it pins stalled threads to
+// the floor, which is where the policies' anti-clog value shows.
+func (c *CPU) missAllowance(total, threads int) int {
+	share := total / (2 * threads)
+	if share < c.cfg.MissIQAllowance {
+		return c.cfg.MissIQAllowance
+	}
+	return share
+}
+
+// dispatchOne moves t's oldest frontend instruction into the ROB and issue
+// queue; it returns false when a resource (ROB, IQ, LSQ) is exhausted.
+func (c *CPU) dispatchOne(t *thread) bool {
+	if t.robCount() >= c.cfg.ROBPerThread {
+		return false
+	}
+	in := t.frontend[0].in
+	fp := in.Kind == workload.FPOp
+	if fp {
+		if c.fpIQUsed >= c.cfg.FPIQ {
+			return false
+		}
+	} else if c.intIQUsed >= c.cfg.IntIQ {
+		return false
+	}
+	switch in.Kind {
+	case workload.Load:
+		if c.lqUsed >= c.cfg.LQ {
+			return false
+		}
+	case workload.Store:
+		if c.sqUsed >= c.cfg.SQ {
+			return false
+		}
+	}
+
+	seq := t.nextSeq
+	t.nextSeq++
+	u := &t.rob[seq%uint64(len(t.rob))]
+	*u = uop{in: in, seq: seq, epoch: t.epoch, tid: int32(t.id), state: stWaiting, doneAt: pendingDone}
+	u.dep1, u.dep2 = depSeq(seq, in.Dep1), depSeq(seq, in.Dep2)
+
+	if fp {
+		c.fpIQUsed++
+		t.iqFP++
+	} else {
+		c.intIQUsed++
+		t.iqInt++
+	}
+	switch in.Kind {
+	case workload.Load:
+		c.lqUsed++
+		t.lq++
+	case workload.Store:
+		c.sqUsed++
+		t.sq++
+	}
+	c.waiting = append(c.waiting, u)
+	t.frontend = t.frontend[1:]
+	return true
+}
+
+func depSeq(seq uint64, dist int) uint64 {
+	if dist <= 0 || uint64(dist) > seq {
+		return noDep
+	}
+	return seq - uint64(dist)
+}
+
+// ---------------------------------------------------------------- issue
+
+// ready reports whether producer depSeq of thread t has its result
+// available at cycle now.
+func (t *thread) depReady(depSeq, now uint64) bool {
+	if depSeq == noDep || depSeq < t.headSeq {
+		return true // committed (or no producer)
+	}
+	u := &t.rob[depSeq%uint64(len(t.rob))]
+	if u.seq != depSeq {
+		return true // slot recycled: producer long gone
+	}
+	switch u.state {
+	case stDone:
+		return true
+	case stIssued:
+		return u.doneAt <= now
+	default:
+		return false
+	}
+}
+
+func (c *CPU) issue(now uint64) {
+	intLeft, fpLeft := c.cfg.IntIssueWidth, c.cfg.FPIssueWidth
+	aluInt, multInt := c.cfg.IntALU, c.cfg.IntMult
+	aluFP, multFP := c.cfg.FPALU, c.cfg.FPMult
+
+	keep := c.waiting[:0]
+	for _, u := range c.waiting {
+		t := c.threads[u.tid]
+		if u.epoch == ^uint64(0) || u.state != stWaiting {
+			continue // squashed (poisoned) or already issued: drop
+		}
+		if intLeft == 0 && fpLeft == 0 {
+			keep = append(keep, u)
+			continue
+		}
+		if !t.depReady(u.dep1, now) || !t.depReady(u.dep2, now) {
+			keep = append(keep, u)
+			continue
+		}
+		fp := u.in.Kind == workload.FPOp
+		long := u.in.Lat >= 7
+		switch {
+		case fp && long:
+			if fpLeft == 0 || multFP == 0 {
+				keep = append(keep, u)
+				continue
+			}
+			fpLeft--
+			multFP--
+		case fp:
+			if fpLeft == 0 || aluFP == 0 {
+				keep = append(keep, u)
+				continue
+			}
+			fpLeft--
+			aluFP--
+		case long:
+			if intLeft == 0 || multInt == 0 {
+				keep = append(keep, u)
+				continue
+			}
+			intLeft--
+			multInt--
+		default:
+			if intLeft == 0 || aluInt == 0 {
+				keep = append(keep, u)
+				continue
+			}
+			intLeft--
+			aluInt--
+		}
+
+		if u.in.Kind == workload.Load {
+			if !c.issueLoad(now, t, u) {
+				// MSHR full: undo the slot and retry next cycle.
+				intLeft++
+				aluInt++
+				keep = append(keep, u)
+				continue
+			}
+		} else {
+			c.issueALU(now, t, u)
+		}
+		// Issued: leave the issue queue.
+		if fp {
+			c.fpIQUsed--
+			t.iqFP--
+		} else {
+			c.intIQUsed--
+			t.iqInt--
+		}
+	}
+	c.waiting = keep
+}
+
+func (c *CPU) issueALU(now uint64, t *thread, u *uop) {
+	u.state = stIssued
+	u.issuedAt = now
+	u.doneAt = now + uint64(u.in.Lat)
+	switch u.in.Kind {
+	case workload.Store:
+		t.stores++
+		u.doneAt = now + 1 // address generation; data written at commit
+	case workload.Branch:
+		if u.in.Mispredict {
+			seq, epoch := u.seq, u.epoch
+			c.q.Schedule(u.doneAt, func(at uint64) { c.resolveBranch(at, t, seq, epoch) })
+		}
+	}
+}
+
+func (c *CPU) issueLoad(now uint64, t *thread, u *uop) bool {
+	seq, epoch := u.seq, u.epoch
+	ok := c.l1d.ReadLine(now+1, u.in.Addr, c.meta(t, true), func(at uint64) {
+		v := &t.rob[seq%uint64(len(t.rob))]
+		if v.seq == seq && v.epoch == epoch && v.state == stIssued {
+			v.doneAt = at
+		}
+	})
+	if !ok {
+		return false
+	}
+	u.state = stIssued
+	u.issuedAt = now
+	u.doneAt = pendingDone
+	t.loads++
+	t.inFlight = append(t.inFlight, u)
+	return true
+}
+
+// ---------------------------------------------------------------- branches
+
+// resolveBranch fires when a mispredicted branch finishes executing: all
+// younger instructions of the thread are squashed and queued for replay, and
+// fetch stalls for the mispredict penalty.
+func (c *CPU) resolveBranch(now uint64, t *thread, seq, epoch uint64) {
+	u := &t.rob[seq%uint64(len(t.rob))]
+	if u.seq != seq || u.epoch != epoch {
+		return // itself squashed by an older branch first
+	}
+	t.squashes++
+
+	// Collect the squashed suffix (ROB entries younger than the branch,
+	// then the frontend, then the peeked instruction) for replay, ahead of
+	// anything already queued for replay.
+	var replay []workload.Instr
+	for s := seq + 1; s < t.nextSeq; s++ {
+		v := &t.rob[s%uint64(len(t.rob))]
+		replay = append(replay, v.in)
+		c.releaseSquashed(t, v)
+		v.epoch = ^uint64(0) // poison: stale waiting refs and callbacks miss
+	}
+	for _, fe := range t.frontend {
+		replay = append(replay, fe.in)
+	}
+	if t.peeked != nil {
+		replay = append(replay, *t.peeked)
+		t.peeked = nil
+	}
+	t.replay = append(replay, t.replay...)
+	t.frontend = t.frontend[:0]
+	t.nextSeq = seq + 1
+	t.epoch++
+	t.imissPending = false
+	t.curILine = ^uint64(0)
+	t.fetchBlockedUntil = now + c.cfg.MispredictPenalty
+
+	// Drop squashed loads from the in-flight list (everything younger than
+	// the branch; older loads, whatever epoch they were fetched in, stay).
+	kept := t.inFlight[:0]
+	for _, v := range t.inFlight {
+		if v.seq <= seq && v.epoch != ^uint64(0) {
+			kept = append(kept, v)
+		}
+	}
+	t.inFlight = kept
+}
+
+// releaseSquashed returns a squashed uop's queue resources.
+func (c *CPU) releaseSquashed(t *thread, v *uop) {
+	if v.state == stWaiting {
+		if v.in.Kind == workload.FPOp {
+			c.fpIQUsed--
+			t.iqFP--
+		} else {
+			c.intIQUsed--
+			t.iqInt--
+		}
+	}
+	switch v.in.Kind {
+	case workload.Load:
+		c.lqUsed--
+		t.lq--
+	case workload.Store:
+		c.sqUsed--
+		t.sq--
+	}
+}
+
+// ---------------------------------------------------------------- commit
+
+func (c *CPU) commit(now uint64) {
+	budget := c.cfg.CommitWidth
+	n := len(c.threads)
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(i+c.rrCommit)%n]
+		for budget > 0 && t.robCount() > 0 {
+			u := &t.rob[t.headSeq%uint64(len(t.rob))]
+			if u.state == stIssued && u.doneAt <= now {
+				u.state = stDone
+			}
+			if u.state != stDone {
+				break
+			}
+			if u.in.Kind == workload.Store {
+				if len(c.pendingStores) >= c.cfg.SQ {
+					break // store buffer full: stall commit
+				}
+				c.pendingStores = append(c.pendingStores, pendingStore{addr: u.in.Addr, meta: c.meta(t, false)})
+				c.sqUsed--
+				t.sq--
+			}
+			if u.in.Kind == workload.Load {
+				c.lqUsed--
+				t.lq--
+			}
+			t.headSeq++
+			t.committed++
+			c.TotalCommitted++
+			budget--
+			if t.warmedAt == 0 && t.committed >= c.warmup {
+				t.warmedAt = now
+			}
+			if t.finishedAt == 0 && c.target > 0 && t.committed >= c.warmup+c.target {
+				t.finishedAt = now
+			}
+		}
+	}
+	c.rrCommit++
+}
+
+// drainStores pushes committed stores into the L1D; MSHR backpressure keeps
+// them buffered.
+func (c *CPU) drainStores(now uint64) {
+	for len(c.pendingStores) > 0 {
+		s := c.pendingStores[0]
+		if !c.l1d.Store(now, s.addr, s.meta) {
+			return
+		}
+		c.pendingStores = c.pendingStores[1:]
+	}
+}

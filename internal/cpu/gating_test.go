@@ -1,0 +1,175 @@
+package cpu
+
+import (
+	"testing"
+
+	"smtdram/internal/workload"
+)
+
+// These tests pin down the dispatch-stage resource gate that realizes the
+// fetch policies' anti-clog behaviour (see Config.MissIQAllowance).
+
+// missThread fakes a thread that is experiencing a long data-cache miss and
+// holds n issue-queue entries.
+func missThread(r *rig, id, iqHeld int) *thread {
+	t := r.cpu.threads[id]
+	u := &t.rob[0]
+	*u = uop{in: workload.Instr{Kind: workload.Load}, state: stIssued, issuedAt: 0, doneAt: pendingDone}
+	t.inFlight = append(t.inFlight, u)
+	t.iqInt = iqHeld
+	return t
+}
+
+func TestDispatchGateBlocksMissingThreadUnderDWarn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = DWarn
+	r := newRig(t, cfg, nops(), nops())
+	th := missThread(r, 0, cfg.MissIQAllowance+40)
+	if !r.cpu.dispatchGated(100, th) {
+		t.Fatal("DWarn gate must block a missing thread past its allowance")
+	}
+	// The same thread below the allowance dispatches freely.
+	th.iqInt = cfg.MissIQAllowance/2 - 1
+	if r.cpu.dispatchGated(100, th) {
+		t.Fatal("gate must not block below the allowance")
+	}
+}
+
+func TestDispatchGateAllowanceScalesWithThreads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = DWarn
+	// At 2 threads the allowance is half the equal share: (64+32)/(2*2)=24.
+	r2 := newRig(t, cfg, nops(), nops())
+	th := missThread(r2, 0, 20)
+	if r2.cpu.dispatchGated(100, th) {
+		t.Fatal("2-thread gate bound too low: 20 entries should be allowed")
+	}
+	th.iqInt = 25
+	if !r2.cpu.dispatchGated(100, th) {
+		t.Fatal("2-thread gate must bind at 24 entries")
+	}
+	// At 8 threads the allowance floors at MissIQAllowance (8).
+	r8 := newRig(t, cfg, nops(), nops(), nops(), nops(), nops(), nops(), nops(), nops())
+	th8 := missThread(r8, 0, 9)
+	if !r8.cpu.dispatchGated(100, th8) {
+		t.Fatal("8-thread gate must bind at the floor of 8 entries")
+	}
+}
+
+func TestDispatchGateICOUNTEqualization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = ICOUNT
+	r := newRig(t, cfg, nops(), nops())
+	th := r.cpu.threads[0]
+	// ICOUNT gates every thread (missing or not) at total/4 = 24 entries.
+	th.iqInt = 23
+	if r.cpu.dispatchGated(100, th) {
+		t.Fatal("ICOUNT gate bound below its equalization point")
+	}
+	th.iqInt = 24
+	if !r.cpu.dispatchGated(100, th) {
+		t.Fatal("ICOUNT gate must bind at total/4")
+	}
+}
+
+func TestDispatchGateOffForSingleThread(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = DWarn
+	r := newRig(t, cfg, nops())
+	th := missThread(r, 0, 60)
+	if r.cpu.dispatchGated(100, th) {
+		t.Fatal("gate must be disabled for single-thread runs (no one to protect)")
+	}
+}
+
+func TestDispatchGateFetchStallUsesL2Signal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = FetchStall
+	r := newRig(t, cfg, nops(), nops())
+	th := missThread(r, 0, 30)
+	// At now=5, the load is too young to count as an L2 miss: no gate.
+	if r.cpu.dispatchGated(5, th) {
+		t.Fatal("FetchStall gate fired before the L2-miss threshold")
+	}
+	if !r.cpu.dispatchGated(100, th) {
+		t.Fatal("FetchStall gate must fire once the load has aged past an L2 hit")
+	}
+}
+
+func TestClogSeparationEndToEnd(t *testing.T) {
+	// One dependent-chain-of-misses thread plus one compute thread: under
+	// DWarn, the compute thread should retain most of its solo throughput;
+	// without any gate (RoundRobin policy has only the equalization gate —
+	// use a custom config with the gate disabled) the clog eats it.
+	gated := DefaultConfig()
+	gated.Policy = DWarn
+	rG := newRig(t, gated, chasing(), nops())
+	rG.run(6000)
+	gatedIPC := float64(rG.cpu.Committed(1)) / float64(rG.cpu.Cycles)
+
+	ungated := DefaultConfig()
+	ungated.Policy = DWarn
+	rU := newRig(t, ungated, chasing(), nops())
+	// Disable the gate by making the allowance huge.
+	rU.cpu.cfg.MissIQAllowance = 1 << 20
+	rU.run(6000)
+	ungatedIPC := float64(rU.cpu.Committed(1)) / float64(rU.cpu.Cycles)
+
+	if gatedIPC < ungatedIPC {
+		t.Fatalf("gate should protect the compute thread: gated %.3f < ungated %.3f", gatedIPC, ungatedIPC)
+	}
+}
+
+// chasing produces an endless pointer chase with dependent consumers, the
+// IQ-clogging pattern.
+func chasing() Source {
+	return &chaseSrc{}
+}
+
+type chaseSrc struct {
+	n    uint64
+	addr uint64
+}
+
+func (c *chaseSrc) Next() workload.Instr {
+	c.n++
+	if c.n%4 == 0 {
+		c.addr += 4096
+		return workload.Instr{Kind: workload.Load, PC: c.n * 4, Addr: 0x100000 + c.addr, Dep1: 4, Lat: 1}
+	}
+	return workload.Instr{Kind: workload.IntOp, PC: c.n * 4, Dep1: 1, Lat: 1}
+}
+
+func TestCoopOrdersMissGroupByMemPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Coop
+	r := newRig(t, cfg, nops(), nops(), nops())
+	// Threads 0 and 2 both have outstanding misses; thread 1 is clean.
+	missThread(r, 0, 4)
+	missThread(r, 2, 4)
+	pressure := map[int]int{0: 9, 2: 1}
+	r.cpu.SetMemPressure(func(th int) int { return pressure[th] })
+	order := r.cpu.fetchOrder(100)
+	if len(order) != 3 {
+		t.Fatalf("order = %v", ids(order))
+	}
+	if order[0].id != 1 {
+		t.Fatalf("order %v: clean thread must lead", ids(order))
+	}
+	// Within the miss group, thread 2 (1 pending DRAM request) outranks
+	// thread 0 (9 pending).
+	if order[1].id != 2 || order[2].id != 0 {
+		t.Fatalf("order %v: miss group must sort by memory pressure", ids(order))
+	}
+}
+
+func TestCoopWithoutPressureFallsBackToDWarn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Coop
+	r := newRig(t, cfg, nops(), nops())
+	missThread(r, 0, 4)
+	order := r.cpu.fetchOrder(100)
+	if len(order) != 2 || order[0].id != 1 {
+		t.Fatalf("order = %v, want DWarn-like grouping", ids(order))
+	}
+}

@@ -1,0 +1,268 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newDDR(t *testing.T, mode PageMode) *Channel {
+	t.Helper()
+	c, err := NewChannel(DDRParams(16, 64, mode), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParamDerivation(t *testing.T) {
+	// 16B-wide 200 MHz DDR moves 6.4 B/ns; a 64 B line takes 10 ns = 30 cyc.
+	p := DDRParams(16, 64, OpenPage)
+	if p.Burst != 30 {
+		t.Fatalf("DDR 16B burst = %d cycles, want 30", p.Burst)
+	}
+	if p.TRCD != 45 || p.CL != 45 || p.TRP != 45 {
+		t.Fatalf("DDR core timing = %d/%d/%d, want 45/45/45", p.TRCD, p.CL, p.TRP)
+	}
+	// Ganging two channels doubles width, halving the burst.
+	if g := DDRParams(32, 64, OpenPage); g.Burst != 15 {
+		t.Fatalf("ganged 32B burst = %d, want 15", g.Burst)
+	}
+	// RDRAM: 1.6 B/ns → 64 B in 40 ns = 120 cycles.
+	if r := RDRAMParams(64, OpenPage); r.Burst != 120 {
+		t.Fatalf("RDRAM burst = %d, want 120", r.Burst)
+	}
+}
+
+func TestValidateRejectsZeroTimings(t *testing.T) {
+	if _, err := NewChannel(Params{Name: "bad"}, 1, 4); err == nil {
+		t.Fatal("NewChannel accepted zero timings")
+	}
+	if _, err := NewChannel(DDRParams(16, 64, OpenPage), 0, 4); err == nil {
+		t.Fatal("NewChannel accepted zero chips")
+	}
+}
+
+func TestFirstAccessIsClosedBank(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	done, out := c.Access(0, 0, 0, 7, true)
+	if out != Closed {
+		t.Fatalf("first access outcome = %v, want Closed", out)
+	}
+	// activate + CAS + burst = 45 + 45 + 30.
+	if done != 120 {
+		t.Fatalf("first access done = %d, want 120", done)
+	}
+}
+
+func TestOpenPageHit(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	done1, _ := c.Access(0, 0, 0, 7, true)
+	done2, out := c.Access(done1, 0, 0, 7, true)
+	if out != Hit {
+		t.Fatalf("second access to same row = %v, want Hit", out)
+	}
+	if got := done2 - done1; got != 45+30 {
+		t.Fatalf("hit service time = %d, want CL+burst = 75", got)
+	}
+}
+
+func TestOpenPageConflict(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	done1, _ := c.Access(0, 0, 0, 7, true)
+	done2, out := c.Access(done1, 0, 0, 9, true)
+	if out != Conflict {
+		t.Fatalf("different-row access = %v, want Conflict", out)
+	}
+	if got := done2 - done1; got != 45+45+45+30 {
+		t.Fatalf("conflict service time = %d, want TRP+TRCD+CL+burst = 165", got)
+	}
+}
+
+func TestClosePageNeverHits(t *testing.T) {
+	c := newDDR(t, ClosePage)
+	done, _ := c.Access(0, 0, 0, 7, true)
+	// Same row again: bank was auto-precharged, so outcome is Closed, and the
+	// precharge overlapped the idle gap (bank readyAt = done+TRP).
+	_, out := c.Access(done+1000, 0, 0, 7, true)
+	if out != Closed {
+		t.Fatalf("close-page repeat access = %v, want Closed", out)
+	}
+	if c.Stats.Hits != 0 {
+		t.Fatalf("close-page recorded %d hits", c.Stats.Hits)
+	}
+}
+
+func TestClosePagePrechargeDelaysBackToBack(t *testing.T) {
+	c := newDDR(t, ClosePage)
+	done1, _ := c.Access(0, 0, 0, 7, true)
+	done2, _ := c.Access(done1, 0, 0, 7, true)
+	// Bank not ready until done1+TRP, then TRCD+CL+burst.
+	want := done1 + 45 + 45 + 45 + 30
+	if done2 != want {
+		t.Fatalf("back-to-back close-page done = %d, want %d", done2, want)
+	}
+}
+
+func TestBankPrepOverlapsBusTransfer(t *testing.T) {
+	// Two concurrent accesses to different banks: the second bank's activate
+	// should overlap the first access's data transfer, so the second line
+	// arrives exactly one burst after the first.
+	c := newDDR(t, OpenPage)
+	done1, _ := c.Access(0, 0, 0, 7, true)
+	done2, _ := c.Access(0, 0, 1, 7, true)
+	if done1 != 120 {
+		t.Fatalf("done1 = %d, want 120", done1)
+	}
+	if done2 != done1+30 {
+		t.Fatalf("done2 = %d, want %d (bank prep hidden under burst)", done2, done1+30)
+	}
+}
+
+func TestBusSerializesTransfers(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	var last uint64
+	for b := 0; b < 4; b++ {
+		done, _ := c.Access(0, 0, b, 1, true)
+		if done <= last {
+			t.Fatalf("bank %d transfer done %d not after previous %d", b, done, last)
+		}
+		last = done
+	}
+	if c.Stats.BusBusy != 4*30 {
+		t.Fatalf("BusBusy = %d, want 120", c.Stats.BusBusy)
+	}
+}
+
+func TestRowBufferMissRate(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	if got := c.RowBufferMissRate(); got != 0 {
+		t.Fatalf("miss rate with no accesses = %v, want 0", got)
+	}
+	now, _ := c.Access(0, 0, 0, 1, true)  // closed → miss
+	now, _ = c.Access(now, 0, 0, 1, true) // hit
+	_, _ = c.Access(now, 0, 0, 2, true)   // conflict → miss
+	if got := c.RowBufferMissRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("miss rate = %v, want 2/3", got)
+	}
+}
+
+func TestReadWriteCounters(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	c.Access(0, 0, 0, 1, true)
+	c.Access(0, 0, 1, 1, false)
+	if c.Stats.Reads != 1 || c.Stats.Writes != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 1/1", c.Stats.Reads, c.Stats.Writes)
+	}
+}
+
+func TestClassifyDoesNotMutate(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	c.Access(0, 0, 0, 5, true)
+	before := *c.bankAt(0, 0)
+	for i := 0; i < 3; i++ {
+		c.Classify(0, 0, uint64(i))
+	}
+	if *c.bankAt(0, 0) != before {
+		t.Fatal("Classify mutated bank state")
+	}
+	if c.Stats.Hits+c.Stats.Closed+c.Stats.Conflicts != 1 {
+		t.Fatal("Classify affected stats")
+	}
+}
+
+// Property: service completion is monotone — an access never completes
+// before it starts plus the minimum column latency, and consecutive accesses
+// on one channel never go back in time on the bus.
+func TestPropertyMonotoneCompletion(t *testing.T) {
+	c := newDDR(t, OpenPage)
+	var lastDone uint64
+	f := func(chip8, bank8 uint8, row uint16, dt uint8) bool {
+		now := lastDone + uint64(dt)
+		done, _ := c.Access(now, 0, int(bank8%4), uint64(row), true)
+		ok := done >= now+c.Params().CL+c.Params().Burst && done > lastDone
+		lastDone = done
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeAndModeStrings(t *testing.T) {
+	if Hit.String() != "hit" || Closed.String() != "closed" || Conflict.String() != "conflict" {
+		t.Fatal("Outcome strings wrong")
+	}
+	if OpenPage.String() != "open" || ClosePage.String() != "close" {
+		t.Fatal("PageMode strings wrong")
+	}
+	if Outcome(42).String() == "" {
+		t.Fatal("unknown outcome must print")
+	}
+}
+
+func TestTurnaroundPenalty(t *testing.T) {
+	p := DDRParams(16, 64, OpenPage)
+	p.Turnaround = 12
+	c, err := NewChannel(p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// read, read (same direction: no penalty), then write (penalty).
+	c.Access(0, 0, 0, 1, true)
+	c.Access(0, 0, 1, 1, true)
+	if c.Stats.Turnarounds != 0 {
+		t.Fatalf("same-direction transfers penalized: %d", c.Stats.Turnarounds)
+	}
+	busBefore := c.BusFreeAt()
+	c.Access(0, 0, 2, 1, false)
+	if c.Stats.Turnarounds != 1 {
+		t.Fatalf("Turnarounds = %d, want 1", c.Stats.Turnarounds)
+	}
+	if got := c.BusFreeAt() - busBefore; got != p.Turnaround+p.Burst {
+		t.Fatalf("write after read extended bus by %d, want turnaround+burst = %d", got, p.Turnaround+p.Burst)
+	}
+}
+
+func TestRefreshClosesRowsAndOccupiesBanks(t *testing.T) {
+	p := DDRParams(16, 64, OpenPage)
+	p.RefreshInterval = 1000
+	p.RefreshDuration = 210
+	c, err := NewChannel(p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := c.Access(0, 0, 0, 7, true)
+	if done >= 1000 {
+		t.Fatalf("first access unexpectedly slow: %d", done)
+	}
+	// Access the same row after the refresh boundary: the row was closed by
+	// the refresh, so the outcome must be Closed, and the bank must have
+	// been busy during the refresh window.
+	_, out := c.Access(1500, 0, 0, 7, true)
+	if out != Closed {
+		t.Fatalf("post-refresh outcome = %v, want Closed (refresh closes rows)", out)
+	}
+	if c.Stats.Refreshes == 0 {
+		t.Fatal("no refreshes recorded")
+	}
+}
+
+func TestRefreshCatchesUpAfterIdle(t *testing.T) {
+	p := DDRParams(16, 64, OpenPage)
+	p.RefreshInterval = 1000
+	p.RefreshDuration = 100
+	c, _ := NewChannel(p, 1, 4)
+	// Idle for 10 intervals: all must be applied on the next access.
+	c.Access(10_500, 0, 0, 1, true)
+	if c.Stats.Refreshes != 10 {
+		t.Fatalf("Refreshes = %d, want 10 (catch-up)", c.Stats.Refreshes)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	c, _ := NewChannel(DDRParams(16, 64, OpenPage), 1, 4)
+	c.Access(1_000_000, 0, 0, 1, true)
+	if c.Stats.Refreshes != 0 {
+		t.Fatal("refresh fired while disabled")
+	}
+}

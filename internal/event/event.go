@@ -1,0 +1,100 @@
+// Package event provides the discrete-event scheduling core shared by the
+// memory subsystem simulators. It is a simple binary min-heap of
+// (cycle, callback) pairs with stable FIFO ordering for events scheduled at
+// the same cycle, so component behaviour is deterministic.
+package event
+
+// Func is a callback fired when the simulation clock reaches its cycle.
+type Func func(now uint64)
+
+type item struct {
+	at  uint64
+	seq uint64 // tie-breaker: FIFO among equal cycles
+	fn  Func
+}
+
+// Queue is a deterministic discrete-event queue. The zero value is ready to
+// use. Queue is not safe for concurrent use; the simulator is single-threaded
+// by design (one simulated machine = one goroutine).
+type Queue struct {
+	heap []item
+	seq  uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule registers fn to run at cycle at. Scheduling in the past is the
+// caller's bug; the event still fires, at whatever "now" the queue has
+// advanced to, preserving run-to-completion semantics.
+func (q *Queue) Schedule(at uint64, fn Func) {
+	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
+	q.seq++
+	q.up(len(q.heap) - 1)
+}
+
+// NextAt returns the cycle of the earliest pending event. ok is false when
+// the queue is empty.
+func (q *Queue) NextAt() (at uint64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+// RunUntil fires, in order, every event with cycle <= now. Events scheduled
+// by callbacks for cycles <= now are fired in the same call.
+func (q *Queue) RunUntil(now uint64) {
+	for len(q.heap) > 0 && q.heap[0].at <= now {
+		it := q.pop()
+		it.fn(it.at)
+	}
+}
+
+func (q *Queue) pop() item {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *Queue) less(i, j int) bool {
+	if q.heap[i].at != q.heap[j].at {
+		return q.heap[i].at < q.heap[j].at
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

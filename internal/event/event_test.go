@@ -1,0 +1,142 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len of zero queue = %d, want 0", q.Len())
+	}
+	if _, ok := q.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported ok")
+	}
+	q.RunUntil(100) // must not panic
+}
+
+func TestFiresInCycleOrder(t *testing.T) {
+	var q Queue
+	var got []uint64
+	for _, at := range []uint64{5, 1, 9, 3, 7} {
+		at := at
+		q.Schedule(at, func(now uint64) { got = append(got, now) })
+	}
+	q.RunUntil(10)
+	want := []uint64{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOWithinSameCycle(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(42, func(uint64) { got = append(got, i) })
+	}
+	q.RunUntil(42)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	var q Queue
+	fired := map[uint64]bool{}
+	for _, at := range []uint64{10, 11, 12} {
+		at := at
+		q.Schedule(at, func(uint64) { fired[at] = true })
+	}
+	q.RunUntil(11)
+	if !fired[10] || !fired[11] {
+		t.Fatal("events at or before the boundary must fire")
+	}
+	if fired[12] {
+		t.Fatal("event after the boundary must not fire")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 pending event", q.Len())
+	}
+}
+
+func TestCallbackSchedulesWithinWindow(t *testing.T) {
+	var q Queue
+	var got []uint64
+	q.Schedule(1, func(now uint64) {
+		got = append(got, now)
+		q.Schedule(2, func(now uint64) { got = append(got, now) })
+	})
+	q.RunUntil(5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("chained events fired %v, want [1 2]", got)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	var q Queue
+	q.Schedule(7, func(uint64) {})
+	q.Schedule(3, func(uint64) {})
+	at, ok := q.NextAt()
+	if !ok || at != 3 {
+		t.Fatalf("NextAt = %d,%v, want 3,true", at, ok)
+	}
+}
+
+// Property: for any set of schedule times, events fire in nondecreasing time
+// order and all of them fire.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		var got []uint64
+		for _, at := range times {
+			q.Schedule(uint64(at), func(now uint64) { got = append(got, now) })
+		}
+		q.RunUntil(1 << 17)
+		if len(got) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		want := make([]uint64, len(times))
+		for i, at := range times {
+			want[i] = uint64(at)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var q Queue
+	nop := func(uint64) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(uint64(rng.Intn(1000)), nop)
+		if q.Len() > 1024 {
+			q.RunUntil(1 << 30)
+		}
+	}
+	q.RunUntil(1 << 30)
+}

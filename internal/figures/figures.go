@@ -1,0 +1,563 @@
+// Package figures regenerates every table and figure from the paper's
+// evaluation (Section 5). Each FigN function runs the simulations behind the
+// corresponding figure and returns the series; Print helpers render the same
+// rows the paper reports. cmd/experiments and the root benchmark harness are
+// thin wrappers around this package.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"smtdram/internal/addrmap"
+	"smtdram/internal/core"
+	"smtdram/internal/cpu"
+	"smtdram/internal/memctrl"
+	"smtdram/internal/report"
+	"smtdram/internal/stats"
+	"smtdram/internal/workload"
+)
+
+// Render is the output format used by the Print helpers (text by default;
+// cmd/experiments sets it from -format).
+var Render = report.Text
+
+// Options controls the experiment runs.
+type Options struct {
+	// Warmup and Target are per-thread instruction counts (defaults 100k).
+	Warmup, Target uint64
+	// Seed drives the generators.
+	Seed int64
+	// Out receives progress and tables; nil discards.
+	Out io.Writer
+	// Baselines caches single-thread IPCs across figures. Keyed by a
+	// config-derived string; safe to share within a process.
+	Baselines map[string]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 100_000
+	}
+	if o.Target == 0 {
+		o.Target = 100_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.Baselines == nil {
+		o.Baselines = map[string]float64{}
+	}
+	return o
+}
+
+// baseConfig is the paper's default machine for a mix under these options.
+func (o Options) baseConfig(apps ...string) core.Config {
+	cfg := core.DefaultConfig(apps...)
+	cfg.WarmupInstr = o.Warmup
+	cfg.TargetInstr = o.Target
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// weightedSpeedup runs cfg and computes weighted speedup against
+// single-thread baselines measured once on the paper's *reference* machine
+// (the default 2-channel DDR configuration). Fixing the denominator is what
+// makes weighted speedups comparable across machine configurations — with
+// per-config baselines, a memory-system improvement would inflate the
+// denominator too and cancel itself out of every figure.
+func (o Options) weightedSpeedup(cfg core.Config) (float64, core.Result, error) {
+	res, err := core.Run(cfg)
+	if err != nil {
+		return 0, core.Result{}, err
+	}
+	alone := make([]float64, len(cfg.Apps))
+	for i, app := range cfg.Apps {
+		key := fmt.Sprintf("%s|%d|%d|%d", app, o.Warmup, o.Target, o.Seed)
+		v, ok := o.Baselines[key]
+		if !ok {
+			ref := o.baseConfig(app) // the reference machine, always
+			v, err = core.RunAlone(ref, app)
+			if err != nil {
+				return 0, core.Result{}, err
+			}
+			o.Baselines[key] = v
+		}
+		alone[i] = v
+	}
+	ws, err := stats.WeightedSpeedup(res.IPC, alone)
+	return ws, res, err
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// PrintTable2 renders the workload-mix catalog.
+func PrintTable2(w io.Writer) {
+	t := report.New("Table 2: workload mixes", "mix", "applications")
+	for _, m := range workload.Mixes() {
+		t.AddRow(m.Name, fmt.Sprintf("%v", m.Apps))
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+// Fig1Row is one application's CPI breakdown.
+type Fig1Row struct {
+	App string
+	stats.Breakdown
+}
+
+// Fig1 reproduces the CPI breakdown of all 26 SPEC2000 applications on the
+// 2-channel DDR system, via the paper's four-run attribution.
+func Fig1(o Options) ([]Fig1Row, error) {
+	o = o.withDefaults()
+	var rows []Fig1Row
+	for _, app := range workload.Names() {
+		b, err := core.CPIBreakdown(o.baseConfig(app), app)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", app, err)
+		}
+		rows = append(rows, Fig1Row{App: app, Breakdown: b})
+		fmt.Fprintf(o.Out, "  fig1 %-9s done\n", app)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Mem < rows[j].Mem })
+	return rows, nil
+}
+
+// PrintFig1 renders the breakdown sorted by CPImem, as in the paper.
+func PrintFig1(w io.Writer, rows []Fig1Row) {
+	t := report.New("Figure 1: CPI breakdown (sorted by CPImem)",
+		"app", "CPIproc", "CPIL2", "CPIL3", "CPImem", "total")
+	for _, r := range rows {
+		t.AddRow(r.App, r.Proc, r.L2, r.L3, r.Mem, r.Total())
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Cell is one (mix, fetch policy) weighted speedup.
+type Fig2Cell struct {
+	Mix    string
+	Policy cpu.FetchPolicy
+	WS     float64
+}
+
+// Fig2 compares the four fetch policies on every Table 2 mix.
+func Fig2(o Options) ([]Fig2Cell, error) {
+	o = o.withDefaults()
+	var out []Fig2Cell
+	for _, m := range workload.Mixes() {
+		for _, pol := range cpu.FetchPolicies() {
+			cfg := o.baseConfig(m.Apps...)
+			cfg.CPU.Policy = pol
+			ws, _, err := o.weightedSpeedup(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s/%v: %w", m.Name, pol, err)
+			}
+			out = append(out, Fig2Cell{Mix: m.Name, Policy: pol, WS: ws})
+			fmt.Fprintf(o.Out, "  fig2 %-6s %-12v WS=%.3f\n", m.Name, pol, ws)
+		}
+	}
+	return out, nil
+}
+
+// PrintFig2 renders the policy comparison.
+func PrintFig2(w io.Writer, cells []Fig2Cell) {
+	cols := []string{"mix"}
+	for _, p := range cpu.FetchPolicies() {
+		cols = append(cols, p.String())
+	}
+	t := report.New("Figure 2: weighted speedup of fetch policies (2-channel DDR)", cols...)
+	byMix := map[string]map[cpu.FetchPolicy]float64{}
+	var order []string
+	for _, c := range cells {
+		if byMix[c.Mix] == nil {
+			byMix[c.Mix] = map[cpu.FetchPolicy]float64{}
+			order = append(order, c.Mix)
+		}
+		byMix[c.Mix][c.Policy] = c.WS
+	}
+	for _, mix := range order {
+		row := []interface{}{mix}
+		for _, p := range cpu.FetchPolicies() {
+			row = append(row, byMix[mix][p])
+		}
+		t.AddRow(row...)
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Row is one mix's performance relative to the infinite-L3 reference.
+type Fig3Row struct {
+	Mix string
+	// RelICOUNT and RelDWarn are the fraction of the infinite-L3 system's
+	// weighted speedup retained with the realistic 2-channel DRAM.
+	RelICOUNT, RelDWarn float64
+}
+
+// Fig3 measures the performance loss due to main memory accesses under
+// ICOUNT and DWarn, against a system with an infinitely large L3.
+func Fig3(o Options) ([]Fig3Row, error) {
+	o = o.withDefaults()
+	var out []Fig3Row
+	for _, m := range workload.Mixes() {
+		ref := o.baseConfig(m.Apps...)
+		ref.CPU.Policy = cpu.ICOUNT
+		ref.PerfectL3 = true
+		refWS, _, err := o.weightedSpeedup(ref)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s ref: %w", m.Name, err)
+		}
+		row := Fig3Row{Mix: m.Name}
+		for _, pol := range []cpu.FetchPolicy{cpu.ICOUNT, cpu.DWarn} {
+			cfg := o.baseConfig(m.Apps...)
+			cfg.CPU.Policy = pol
+			ws, _, err := o.weightedSpeedup(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s/%v: %w", m.Name, pol, err)
+			}
+			if pol == cpu.ICOUNT {
+				row.RelICOUNT = ws / refWS
+			} else {
+				row.RelDWarn = ws / refWS
+			}
+		}
+		out = append(out, row)
+		fmt.Fprintf(o.Out, "  fig3 %-6s icount=%.1f%% dwarn=%.1f%%\n",
+			m.Name, 100*row.RelICOUNT, 100*row.RelDWarn)
+	}
+	return out, nil
+}
+
+// PrintFig3 renders the relative-performance table.
+func PrintFig3(w io.Writer, rows []Fig3Row) {
+	t := report.New("Figure 3: performance retained vs infinite L3 (ICOUNT reference)",
+		"mix", "ICOUNT%", "DWarn%")
+	for _, r := range rows {
+		t.AddRow(r.Mix, 100*r.RelICOUNT, 100*r.RelDWarn)
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figures 4 & 5
+
+// ConcurrencyRow holds one mix's concurrency distributions.
+type ConcurrencyRow struct {
+	Mix string
+	// Outstanding buckets: 1, 2-4, 5-8, 9-16, >16 (fractions of busy time).
+	Outstanding []stats.Bucket
+	// ThreadSpread[k] is the fraction of ≥2-outstanding time during which
+	// exactly k+1 threads had requests pending.
+	ThreadSpread []float64
+}
+
+// Fig4and5 measures the outstanding-request distribution (Figure 4) and the
+// number of threads generating concurrent requests (Figure 5).
+func Fig4and5(o Options) ([]ConcurrencyRow, error) {
+	o = o.withDefaults()
+	var out []ConcurrencyRow
+	for _, m := range workload.Mixes() {
+		cfg := o.baseConfig(m.Apps...)
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4/5 %s: %w", m.Name, err)
+		}
+		row := ConcurrencyRow{
+			Mix:         m.Name,
+			Outstanding: stats.Bucketize(res.OutstandingHist, []int{1, 4, 8, 16}),
+		}
+		var total uint64
+		for _, v := range res.ThreadSpreadHist {
+			total += v
+		}
+		for k := 1; k <= m.Threads(); k++ {
+			var f float64
+			if total > 0 {
+				f = float64(res.ThreadSpreadHist[k]) / float64(total)
+			}
+			row.ThreadSpread = append(row.ThreadSpread, f)
+		}
+		out = append(out, row)
+		fmt.Fprintf(o.Out, "  fig4/5 %-6s done\n", m.Name)
+	}
+	return out, nil
+}
+
+// PrintFig4 renders the outstanding-request distribution.
+func PrintFig4(w io.Writer, rows []ConcurrencyRow) {
+	if len(rows) == 0 {
+		return
+	}
+	cols := []string{"mix"}
+	for _, b := range rows[0].Outstanding {
+		cols = append(cols, b.Label)
+	}
+	t := report.New("Figure 4: outstanding requests while DRAM busy (fraction of busy time)", cols...)
+	for _, r := range rows {
+		row := []interface{}{r.Mix}
+		for _, b := range r.Outstanding {
+			row = append(row, b.Frac)
+		}
+		t.AddRow(row...)
+	}
+	_ = t.Render(w, Render)
+}
+
+// PrintFig5 renders the thread-spread distribution.
+func PrintFig5(w io.Writer, rows []ConcurrencyRow) {
+	t := report.New("Figure 5: #threads generating concurrent requests (fraction of ≥2-outstanding time)",
+		"mix", "by #threads (k=1..n)")
+	for _, r := range rows {
+		var cells string
+		for _, f := range r.ThreadSpread {
+			cells += fmt.Sprintf(" %.3f", f)
+		}
+		t.AddRow(r.Mix, cells)
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Row is one mix's weighted speedup versus channel count, normalized to
+// the 2-channel system.
+type Fig6Row struct {
+	Mix  string
+	Norm map[int]float64 // channels → WS / WS(2ch)
+}
+
+// Fig6 sweeps 2/4/8 independent channels.
+func Fig6(o Options) ([]Fig6Row, error) {
+	o = o.withDefaults()
+	var out []Fig6Row
+	for _, m := range workload.Mixes() {
+		row := Fig6Row{Mix: m.Name, Norm: map[int]float64{}}
+		var base float64
+		for _, ch := range []int{2, 4, 8} {
+			cfg := o.baseConfig(m.Apps...)
+			cfg.Mem.PhysChannels = ch
+			ws, _, err := o.weightedSpeedup(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%dch: %w", m.Name, ch, err)
+			}
+			if ch == 2 {
+				base = ws
+			}
+			row.Norm[ch] = ws / base
+		}
+		out = append(out, row)
+		fmt.Fprintf(o.Out, "  fig6 %-6s 4ch=%.3f 8ch=%.3f\n", m.Name, row.Norm[4], row.Norm[8])
+	}
+	return out, nil
+}
+
+// PrintFig6 renders the channel sweep.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	t := report.New("Figure 6: weighted speedup vs channel count (normalized to 2 channels)",
+		"mix", "2ch", "4ch", "8ch")
+	for _, r := range rows {
+		t.AddRow(r.Mix, r.Norm[2], r.Norm[4], r.Norm[8])
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// GangOrg names a physical-channel/gang organization, e.g. 8C-4G.
+type GangOrg struct{ Phys, Gang int }
+
+func (g GangOrg) String() string { return fmt.Sprintf("%dC-%dG", g.Phys, g.Gang) }
+
+// Fig7Orgs are the organizations the paper compares.
+func Fig7Orgs() []GangOrg {
+	return []GangOrg{{2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 1}, {8, 2}, {8, 4}}
+}
+
+// Fig7Row is one mix's weighted speedups across channel organizations,
+// normalized to 2C-1G.
+type Fig7Row struct {
+	Mix  string
+	Norm map[GangOrg]float64
+}
+
+// fig7Mixes: ILP workloads are insensitive (Figure 6), so the paper omits
+// them here.
+func fig7Mixes() []workload.Mix {
+	var out []workload.Mix
+	for _, m := range workload.Mixes() {
+		if m.Name[2:] != "ILP" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Fig7 compares clustering physical channels into logical ones.
+func Fig7(o Options) ([]Fig7Row, error) {
+	o = o.withDefaults()
+	var out []Fig7Row
+	for _, m := range fig7Mixes() {
+		row := Fig7Row{Mix: m.Name, Norm: map[GangOrg]float64{}}
+		var base float64
+		for _, org := range Fig7Orgs() {
+			cfg := o.baseConfig(m.Apps...)
+			cfg.Mem.PhysChannels = org.Phys
+			cfg.Mem.Gang = org.Gang
+			ws, _, err := o.weightedSpeedup(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%v: %w", m.Name, org, err)
+			}
+			if org == (GangOrg{2, 1}) {
+				base = ws
+			}
+			row.Norm[org] = ws / base
+		}
+		out = append(out, row)
+		fmt.Fprintf(o.Out, "  fig7 %-6s done\n", m.Name)
+	}
+	return out, nil
+}
+
+// PrintFig7 renders the ganging comparison.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	cols := []string{"mix"}
+	for _, org := range Fig7Orgs() {
+		cols = append(cols, org.String())
+	}
+	t := report.New("Figure 7: channel organizations (normalized to 2C-1G)", cols...)
+	for _, r := range rows {
+		row := []interface{}{r.Mix}
+		for _, org := range Fig7Orgs() {
+			row = append(row, r.Norm[org])
+		}
+		t.AddRow(row...)
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figures 8 & 9
+
+// MappingRow is one mix's row-buffer miss rates under the two mapping
+// schemes.
+type MappingRow struct {
+	Mix      string
+	PageMiss float64
+	XORMiss  float64
+}
+
+// figMapping runs the page-vs-XOR comparison on the given DRAM kind.
+func figMapping(o Options, kind core.DRAMKind) ([]MappingRow, error) {
+	o = o.withDefaults()
+	var out []MappingRow
+	for _, m := range fig7Mixes() { // MEM and MIX mixes, like the paper
+		row := MappingRow{Mix: m.Name}
+		for _, scheme := range []addrmap.Scheme{addrmap.Page, addrmap.XOR} {
+			cfg := o.baseConfig(m.Apps...)
+			cfg.Mem.Kind = kind
+			cfg.Mem.Scheme = scheme
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig8/9 %s/%v/%v: %w", m.Name, kind, scheme, err)
+			}
+			if scheme == addrmap.Page {
+				row.PageMiss = res.RowBufferMissRate
+			} else {
+				row.XORMiss = res.RowBufferMissRate
+			}
+		}
+		out = append(out, row)
+		fmt.Fprintf(o.Out, "  fig8/9 %-6s %v page=%.3f xor=%.3f\n", m.Name, kind, row.PageMiss, row.XORMiss)
+	}
+	return out, nil
+}
+
+// Fig8 compares mapping schemes on the 2-channel DDR SDRAM system.
+func Fig8(o Options) ([]MappingRow, error) { return figMapping(o, core.DDR) }
+
+// Fig9 compares mapping schemes on the 2-channel Direct Rambus system.
+func Fig9(o Options) ([]MappingRow, error) { return figMapping(o, core.RDRAM) }
+
+// PrintMapping renders a Figure 8/9 table.
+func PrintMapping(w io.Writer, title string, rows []MappingRow) {
+	t := report.New(title, "mix", "page", "xor")
+	for _, r := range rows {
+		t.AddRow(r.Mix, r.PageMiss, r.XORMiss)
+	}
+	_ = t.Render(w, Render)
+}
+
+// ---------------------------------------------------------------- Figure 10
+
+// Fig10Cell is one (mix, scheduling policy) weighted speedup, normalized to
+// FCFS.
+type Fig10Cell struct {
+	Mix    string
+	Policy memctrl.Policy
+	WS     float64
+	Norm   float64
+}
+
+// Fig10 compares the six access-scheduling policies.
+func Fig10(o Options) ([]Fig10Cell, error) {
+	o = o.withDefaults()
+	var out []Fig10Cell
+	for _, m := range fig7Mixes() {
+		var base float64
+		for _, pol := range memctrl.Policies() {
+			cfg := o.baseConfig(m.Apps...)
+			cfg.Mem.Policy = pol
+			ws, _, err := o.weightedSpeedup(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s/%v: %w", m.Name, pol, err)
+			}
+			if pol == memctrl.FCFS {
+				base = ws
+			}
+			out = append(out, Fig10Cell{Mix: m.Name, Policy: pol, WS: ws, Norm: ws / base})
+			fmt.Fprintf(o.Out, "  fig10 %-6s %-14v WS=%.3f (%.3f× FCFS)\n", m.Name, pol, ws, ws/base)
+		}
+	}
+	return out, nil
+}
+
+// PrintFig10 renders the scheduling comparison.
+func PrintFig10(w io.Writer, cells []Fig10Cell) {
+	cols := []string{"mix"}
+	for _, p := range memctrl.Policies() {
+		cols = append(cols, p.String())
+	}
+	t := report.New("Figure 10: access scheduling policies (weighted speedup, ×FCFS)", cols...)
+	byMix := map[string]map[memctrl.Policy]float64{}
+	var order []string
+	for _, c := range cells {
+		if byMix[c.Mix] == nil {
+			byMix[c.Mix] = map[memctrl.Policy]float64{}
+			order = append(order, c.Mix)
+		}
+		byMix[c.Mix][c.Policy] = c.Norm
+	}
+	for _, mix := range order {
+		row := []interface{}{mix}
+		for _, p := range memctrl.Policies() {
+			row = append(row, byMix[mix][p])
+		}
+		t.AddRow(row...)
+	}
+	_ = t.Render(w, Render)
+}
+
+// WS exposes the options' cached weighted-speedup computation for external
+// harnesses (the root benchmark suite).
+func WS(o Options, cfg core.Config) (float64, core.Result, error) {
+	o = o.withDefaults()
+	cfg.WarmupInstr, cfg.TargetInstr, cfg.Seed = o.Warmup, o.Target, o.Seed
+	return o.weightedSpeedup(cfg)
+}

@@ -1,0 +1,548 @@
+// Package memctrl implements the memory controller: per-logical-channel
+// request queues, a dispatch engine over the dram bank models, and the
+// access-scheduling policies compared in the paper — FCFS (with read bypass),
+// hit-first, age-based, and the three thread-aware schemes (outstanding-
+// request-based, ROB-occupancy-based, IQ-occupancy-based).
+package memctrl
+
+import (
+	"fmt"
+	"strings"
+
+	"smtdram/internal/addrmap"
+	"smtdram/internal/dram"
+	"smtdram/internal/event"
+	"smtdram/internal/mem"
+)
+
+// Policy selects the access-scheduling scheme.
+type Policy int
+
+const (
+	// FCFS serves requests in arrival order, but lets reads bypass writes
+	// (the paper's reference point).
+	FCFS Policy = iota
+	// HitFirst adds row-buffer-hit prioritization over read-first
+	// (the single-threaded state of the art).
+	HitFirst
+	// AgeBased is HitFirst plus promotion of the oldest request whenever
+	// more than AgeThreshold requests are outstanding.
+	AgeBased
+	// RequestBased is the thread-aware scheme: among same-type requests,
+	// the thread with the fewest pending memory requests goes first.
+	RequestBased
+	// ROBBased prioritizes the thread holding the most reorder-buffer
+	// entries.
+	ROBBased
+	// IQBased prioritizes the thread holding the most integer issue-queue
+	// entries.
+	IQBased
+	// CriticalityBased prioritizes requests carrying the critical word the
+	// processor is stalled on (Section 3.1's fourth single-threaded policy;
+	// in this model, demand loads are critical and prefetches/writebacks
+	// are not).
+	CriticalityBased
+)
+
+var policyNames = map[Policy]string{
+	FCFS:             "fcfs",
+	HitFirst:         "hit-first",
+	AgeBased:         "age-based",
+	RequestBased:     "request-based",
+	ROBBased:         "rob-based",
+	IQBased:          "iq-based",
+	CriticalityBased: "criticality-based",
+}
+
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a CLI name into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for p, name := range policyNames {
+		if strings.EqualFold(s, name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("memctrl: unknown policy %q (want one of fcfs, hit-first, age-based, request-based, rob-based, iq-based, criticality-based)", s)
+}
+
+// Policies lists the paper's Figure 10 policies in presentation order.
+func Policies() []Policy {
+	return []Policy{FCFS, HitFirst, AgeBased, RequestBased, ROBBased, IQBased}
+}
+
+// AllPolicies additionally includes the single-threaded criticality-based
+// policy from Section 3.1, which Figure 10 omits.
+func AllPolicies() []Policy {
+	return append(Policies(), CriticalityBased)
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Mapper decodes physical addresses to DRAM locations.
+	Mapper addrmap.Mapper
+	// Params is the per-channel DRAM timing.
+	Params dram.Params
+	// Policy is the scheduling scheme.
+	Policy Policy
+	// QueueDepth is the per-channel pending-request limit (default 64).
+	QueueDepth int
+	// MaxInFlight bounds how many requests a channel dispatches before the
+	// earliest completes; small windows keep scheduling decisions late and
+	// therefore better informed (default 4).
+	MaxInFlight int
+	// AgeThreshold is the outstanding-request count beyond which AgeBased
+	// promotes the oldest request (the paper uses 8).
+	AgeThreshold int
+	// ThreadAwareFirst inverts the paper's priority chain, ranking the
+	// thread-aware criterion above hit-first. Section 3.2 argues this is
+	// the wrong order for SMT ("the sustained memory bandwidth is more
+	// important than the latency of an individual access"); the ablation
+	// benchmark exists to check that claim.
+	ThreadAwareFirst bool
+	// Trace, when non-nil, receives one event per serviced DRAM request —
+	// the raw material for offline scheduling analysis (cmd/tracedump).
+	Trace func(TraceEvent)
+	// Threads is the number of hardware threads (for per-thread stats).
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 4
+	}
+	if c.AgeThreshold == 0 {
+		c.AgeThreshold = 8
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// TraceEvent describes one serviced DRAM request.
+type TraceEvent struct {
+	// Arrive and Done are the enqueue and last-data-beat cycles.
+	Arrive, Done uint64
+	// Issue is the cycle the request was dispatched to its bank.
+	Issue uint64
+	// Addr is the physical line address.
+	Addr uint64
+	// Channel, Chip, Bank, Row locate the access.
+	Channel, Chip, Bank int
+	Row                 uint64
+	// Thread is the originating hardware thread (-1 for writebacks).
+	Thread int
+	// Read distinguishes fills from writebacks.
+	Read bool
+	// Outcome is the row-buffer outcome (hit/closed/conflict).
+	Outcome dram.Outcome
+	// QueuedBehind is the queue length seen on arrival.
+	QueuedBehind int
+}
+
+// entry is a queued request plus its decoded location.
+type entry struct {
+	req          *mem.Request
+	loc          addrmap.Loc
+	seq          uint64
+	queuedBehind int
+}
+
+type channelCtl struct {
+	dev        *dram.Channel
+	queue      []*entry
+	inFlight   int
+	retryArmed bool
+}
+
+// maxTrackedOutstanding caps the concurrency histograms.
+const maxTrackedOutstanding = 64
+
+// Stats aggregates controller-level measurements.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	Rejected       uint64 // enqueue attempts bounced by a full queue
+	ReadLatencySum uint64 // enqueue → last data beat, reads only
+
+	// ThreadReads / ThreadReadLatencySum break read service down per
+	// originating hardware thread (index capped at 15).
+	ThreadReads          [16]uint64
+	ThreadReadLatencySum [16]uint64
+
+	// OutstandingHist[i] is the number of cycles during which exactly i
+	// requests (reads and writebacks — everything presented to the DRAM
+	// system) were outstanding (i ≥ 1: the DRAM system was busy). Index
+	// maxTrackedOutstanding accumulates everything at or beyond it.
+	OutstandingHist [maxTrackedOutstanding + 1]uint64
+	// ThreadSpreadHist[k] is the number of cycles during which ≥2 requests
+	// were outstanding and exactly k distinct threads had requests pending.
+	ThreadSpreadHist [maxTrackedOutstanding + 1]uint64
+}
+
+// BusyCycles is the total time the DRAM system had work outstanding.
+func (s *Stats) BusyCycles() uint64 {
+	var t uint64
+	for i := 1; i <= maxTrackedOutstanding; i++ {
+		t += s.OutstandingHist[i]
+	}
+	return t
+}
+
+// AvgReadLatency is the mean read service time in cycles.
+func (s *Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencySum) / float64(s.Reads)
+}
+
+// Controller is the DRAM memory controller. It implements mem.Controller.
+type Controller struct {
+	cfg      Config
+	q        *event.Queue
+	channels []*channelCtl
+	seq      uint64
+
+	// live per-thread pending demand-request counts (the request-based
+	// scheme's input; the controller knows these precisely).
+	outstanding []int
+	threadsBusy int // #threads with outstanding > 0
+	totalOut    int // total outstanding demand requests
+	lastChange  uint64
+
+	Stats Stats
+}
+
+var _ mem.Controller = (*Controller)(nil)
+
+// New builds a controller with one dram.Channel per logical channel of the
+// mapper's geometry.
+func New(q *event.Queue, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	g := cfg.Mapper.Geo
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:         cfg,
+		q:           q,
+		outstanding: make([]int, cfg.Threads),
+	}
+	for i := 0; i < g.Channels; i++ {
+		dev, err := dram.NewChannel(cfg.Params, g.ChipsPerChannel, g.BanksPerChip)
+		if err != nil {
+			return nil, err
+		}
+		c.channels = append(c.channels, &channelCtl{dev: dev})
+	}
+	return c, nil
+}
+
+// Channels exposes the underlying DRAM channels (for row-buffer stats).
+func (c *Controller) Channels() []*dram.Channel {
+	out := make([]*dram.Channel, len(c.channels))
+	for i, cc := range c.channels {
+		out[i] = cc.dev
+	}
+	return out
+}
+
+// Outstanding returns the live pending demand-request count for a thread.
+func (c *Controller) Outstanding(thread int) int {
+	if thread < 0 || thread >= len(c.outstanding) {
+		return 0
+	}
+	return c.outstanding[thread]
+}
+
+// QueueLen returns the number of queued (not yet dispatched) requests on a
+// channel; tests use it to observe backpressure.
+func (c *Controller) QueueLen(channel int) int { return len(c.channels[channel].queue) }
+
+// Enqueue accepts a request. It returns false when the target channel's
+// queue is full; the caller (an L3 MSHR) must retry.
+func (c *Controller) Enqueue(now uint64, r *mem.Request) bool {
+	loc := c.cfg.Mapper.Map(r.Addr)
+	cc := c.channels[loc.Channel]
+	if len(cc.queue) >= c.cfg.QueueDepth {
+		c.Stats.Rejected++
+		return false
+	}
+	r.Arrive = now
+	e := &entry{req: r, loc: loc, seq: c.seq, queuedBehind: len(cc.queue) + cc.inFlight}
+	c.seq++
+	cc.queue = append(cc.queue, e)
+
+	if r.IsRead() {
+		c.Stats.Reads++
+	} else {
+		c.Stats.Writes++
+	}
+	c.accountChange(now, r.Thread, +1)
+	c.dispatch(now, cc)
+	return true
+}
+
+// accountChange updates the time-weighted concurrency histograms when a
+// demand request arrives (+1) or completes (-1).
+func (c *Controller) accountChange(now uint64, thread, delta int) {
+	c.snapshot(now)
+	c.totalOut += delta
+	if thread >= 0 && thread < len(c.outstanding) {
+		before := c.outstanding[thread]
+		c.outstanding[thread] += delta
+		after := c.outstanding[thread]
+		if before == 0 && after > 0 {
+			c.threadsBusy++
+		}
+		if before > 0 && after == 0 {
+			c.threadsBusy--
+		}
+	}
+}
+
+func (c *Controller) snapshot(now uint64) {
+	dt := now - c.lastChange
+	c.lastChange = now
+	if dt == 0 {
+		return
+	}
+	if c.totalOut > 0 {
+		i := c.totalOut
+		if i > maxTrackedOutstanding {
+			i = maxTrackedOutstanding
+		}
+		c.Stats.OutstandingHist[i] += dt
+	}
+	if c.totalOut >= 2 {
+		k := c.threadsBusy
+		if k > maxTrackedOutstanding {
+			k = maxTrackedOutstanding
+		}
+		c.Stats.ThreadSpreadHist[k] += dt
+	}
+}
+
+// dispatch issues queued requests, best-first, while the channel's in-flight
+// window has room. A request is only dispatched once its bank can start
+// work (bank-ready gating): committing requests to busy banks early would
+// freeze their order and rob the scheduling policy of its reordering window.
+// When nothing is startable, a wake-up is armed for the earliest bank-free
+// time.
+func (c *Controller) dispatch(now uint64, cc *channelCtl) {
+	for cc.inFlight < c.cfg.MaxInFlight && len(cc.queue) > 0 {
+		idx := c.pick(now, cc)
+		if idx < 0 {
+			c.armRetry(now, cc)
+			return
+		}
+		e := cc.queue[idx]
+		cc.queue = append(cc.queue[:idx], cc.queue[idx+1:]...)
+		cc.inFlight++
+
+		done, out := cc.dev.Access(now, e.loc.Chip, e.loc.Bank, e.loc.Row, e.req.IsRead())
+		req := e.req
+		if c.cfg.Trace != nil {
+			c.cfg.Trace(TraceEvent{
+				Arrive: req.Arrive, Issue: now, Done: done,
+				Addr: req.Addr, Channel: e.loc.Channel, Chip: e.loc.Chip,
+				Bank: e.loc.Bank, Row: e.loc.Row, Thread: req.Thread,
+				Read: req.IsRead(), Outcome: out, QueuedBehind: e.queuedBehind,
+			})
+		}
+		c.q.Schedule(done, func(at uint64) {
+			cc.inFlight--
+			if req.IsRead() {
+				c.Stats.ReadLatencySum += at - req.Arrive
+				if t := req.Thread; t >= 0 && t < len(c.Stats.ThreadReads) {
+					c.Stats.ThreadReads[t]++
+					c.Stats.ThreadReadLatencySum[t] += at - req.Arrive
+				}
+			}
+			c.accountChange(at, req.Thread, -1)
+			if req.OnComplete != nil {
+				req.OnComplete(at)
+			}
+			c.dispatch(at, cc)
+		})
+	}
+}
+
+// armRetry schedules a dispatch attempt at the earliest cycle any queued
+// request's bank becomes ready.
+func (c *Controller) armRetry(now uint64, cc *channelCtl) {
+	if cc.retryArmed || len(cc.queue) == 0 {
+		return
+	}
+	wake := ^uint64(0)
+	for _, e := range cc.queue {
+		if r := cc.dev.BankReadyAt(e.loc.Chip, e.loc.Bank); r < wake {
+			wake = r
+		}
+	}
+	if wake <= now {
+		wake = now + 1
+	}
+	cc.retryArmed = true
+	c.q.Schedule(wake, func(at uint64) {
+		cc.retryArmed = false
+		c.dispatch(at, cc)
+	})
+}
+
+// pick returns the index of the highest-priority startable queued entry
+// under the configured policy, or -1 when no queued request's bank is ready.
+// Two overrides apply to every policy: when the queue is nearly full, the
+// oldest startable entry is served to prevent write starvation from
+// deadlocking the hierarchy; and AgeBased promotes the oldest entry past the
+// configured outstanding threshold.
+func (c *Controller) pick(now uint64, cc *channelCtl) int {
+	if c.cfg.Policy == FCFS {
+		return c.pickFCFS(now, cc)
+	}
+	oldestOnly := len(cc.queue) >= c.cfg.QueueDepth*3/4 ||
+		(c.cfg.Policy == AgeBased && len(cc.queue)+cc.inFlight > c.cfg.AgeThreshold)
+	best := -1
+	for i := range cc.queue {
+		if cc.dev.BankReadyAt(cc.queue[i].loc.Chip, cc.queue[i].loc.Bank) > now {
+			continue
+		}
+		switch {
+		case best < 0:
+			best = i
+		case oldestOnly:
+			if cc.queue[i].seq < cc.queue[best].seq {
+				best = i
+			}
+		case c.better(cc.queue[i], cc.queue[best], cc.dev):
+			best = i
+		}
+	}
+	return best
+}
+
+// pickFCFS implements the paper's reference point: strict arrival order with
+// reads bypassing writes. The oldest read (or, with no reads queued, the
+// oldest write) is the only dispatch candidate — if its bank is busy, the
+// channel waits. This head-of-line blocking is precisely what the smarter
+// policies remove.
+func (c *Controller) pickFCFS(now uint64, cc *channelCtl) int {
+	best := -1
+	if len(cc.queue) < c.cfg.QueueDepth*3/4 { // starvation guard off
+		for i := range cc.queue {
+			if !cc.queue[i].req.IsRead() {
+				continue
+			}
+			if best < 0 || cc.queue[i].seq < cc.queue[best].seq {
+				best = i
+			}
+		}
+	}
+	if best < 0 { // no reads (or guard active): strict oldest overall
+		for i := range cc.queue {
+			if best < 0 || cc.queue[i].seq < cc.queue[best].seq {
+				best = i
+			}
+		}
+	}
+	if best >= 0 && cc.dev.BankReadyAt(cc.queue[best].loc.Chip, cc.queue[best].loc.Bank) > now {
+		return -1
+	}
+	return best
+}
+
+// better reports whether a should be served before b. The policy chains
+// follow Section 3 of the paper: thread-aware criteria rank below hit-first
+// and read-first ("a read hit always gets a higher priority than a read miss
+// even if the hit is generated by a thread with more pending requests"), and
+// arrival order breaks remaining ties.
+func (c *Controller) better(a, b *entry, dev *dram.Channel) bool {
+	if c.cfg.ThreadAwareFirst {
+		if ta, decided := c.threadAware(a, b); decided {
+			return ta
+		}
+	}
+	if c.cfg.Policy != FCFS {
+		ah := dev.Classify(a.loc.Chip, a.loc.Bank, a.loc.Row) == dram.Hit
+		bh := dev.Classify(b.loc.Chip, b.loc.Bank, b.loc.Row) == dram.Hit
+		if ah != bh {
+			return ah
+		}
+	}
+	if ar, br := a.req.IsRead(), b.req.IsRead(); ar != br {
+		return ar // read-first, including under FCFS (read bypass)
+	}
+	if !c.cfg.ThreadAwareFirst {
+		if ta, decided := c.threadAware(a, b); decided {
+			return ta
+		}
+	}
+	return a.seq < b.seq
+}
+
+// threadAware applies the policy's thread-aware criterion; decided is false
+// when the policy has none or the requests tie.
+func (c *Controller) threadAware(a, b *entry) (better, decided bool) {
+	switch c.cfg.Policy {
+	case RequestBased:
+		if ao, bo := c.threadKey(a), c.threadKey(b); ao != bo {
+			return ao < bo, true // fewest pending requests first
+		}
+	case ROBBased:
+		if av, bv := a.req.State.ROBOccupancy, b.req.State.ROBOccupancy; av != bv {
+			return av > bv, true // most ROB entries first
+		}
+	case IQBased:
+		if av, bv := a.req.State.IQOccupancy, b.req.State.IQOccupancy; av != bv {
+			return av > bv, true // most integer IQ entries first
+		}
+	case CriticalityBased:
+		if ac, bc := a.req.Critical, b.req.Critical; ac != bc {
+			return ac, true // the request the processor stalls on first
+		}
+	}
+	return false, false
+}
+
+// threadKey is the request-based scheme's sort key: the originating thread's
+// live pending count. Writebacks have no thread and sort last among misses.
+func (c *Controller) threadKey(e *entry) int {
+	t := e.req.Thread
+	if t < 0 || t >= len(c.outstanding) {
+		return int(^uint(0) >> 1) // max int
+	}
+	return c.outstanding[t]
+}
+
+// FinishStats closes the concurrency accounting interval at end of run.
+func (c *Controller) FinishStats(now uint64) { c.snapshot(now) }
+
+// RowBufferStats sums row-buffer outcomes over all channels.
+func (c *Controller) RowBufferStats() (hits, closed, conflicts uint64) {
+	for _, cc := range c.channels {
+		hits += cc.dev.Stats.Hits
+		closed += cc.dev.Stats.Closed
+		conflicts += cc.dev.Stats.Conflicts
+	}
+	return
+}
+
+// RowBufferMissRate is the system-wide row-buffer miss rate.
+func (c *Controller) RowBufferMissRate() float64 {
+	h, cl, co := c.RowBufferStats()
+	total := h + cl + co
+	if total == 0 {
+		return 0
+	}
+	return float64(cl+co) / float64(total)
+}

@@ -1,0 +1,187 @@
+// Package report renders experiment results as aligned text tables, CSV, or
+// Markdown. The experiment drivers produce rows; this package owns all
+// formatting, so cmd/experiments can emit machine-readable output for
+// plotting alongside the human-readable tables.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rectangular result set with a title and column headers.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New builds an empty table.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; values are formatted with %v, floats with %.3f.
+func (t *Table) AddRow(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Err is returned when a table is malformed.
+type Err struct{ msg string }
+
+func (e *Err) Error() string { return "report: " + e.msg }
+
+// validate checks row widths.
+func (t *Table) validate() error {
+	for i, r := range t.Rows {
+		if len(r) != len(t.Columns) {
+			return &Err{fmt.Sprintf("row %d has %d cells, want %d", i, len(r), len(t.Columns))}
+		}
+	}
+	return nil
+}
+
+// Text renders an aligned plain-text table.
+func (t *Table) Text(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString(" ")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as RFC-4180 CSV (title omitted; headers included).
+func (t *Table) CSV(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Markdown renders a GitHub-flavored Markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format names an output format.
+type Format int
+
+const (
+	// Text is the aligned human-readable form.
+	Text Format = iota
+	// CSV is machine-readable comma-separated values.
+	CSV
+	// Markdown is a GitHub-flavored table.
+	Markdown
+)
+
+// ParseFormat converts a CLI name.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "txt":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "md", "markdown":
+		return Markdown, nil
+	}
+	return 0, &Err{fmt.Sprintf("unknown format %q (want text, csv, md)", s)}
+}
+
+// Render writes the table in the chosen format.
+func (t *Table) Render(w io.Writer, f Format) error {
+	switch f {
+	case CSV:
+		return t.CSV(w)
+	case Markdown:
+		return t.Markdown(w)
+	default:
+		return t.Text(w)
+	}
+}

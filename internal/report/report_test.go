@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Figure X", "mix", "value")
+	t.AddRow("2-MEM", 1.25)
+	t.AddRow("4-MEM", 0.5)
+	return t
+}
+
+func TestText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "mix", "2-MEM", "1.250", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "mix,value" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "2-MEM,1.250" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := New("", "a", "b")
+	tbl.AddRow(`comma,inside`, `quote"inside`)
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"comma,inside"`) {
+		t.Fatalf("comma not quoted: %q", buf.String())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Figure X") {
+		t.Fatal("markdown missing title")
+	}
+	if !strings.Contains(out, "| mix | value |") || !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("markdown structure wrong:\n%s", out)
+	}
+}
+
+func TestValidateRowWidth(t *testing.T) {
+	tbl := New("", "a", "b")
+	tbl.Rows = append(tbl.Rows, []string{"only-one"})
+	var buf bytes.Buffer
+	for _, f := range []Format{Text, CSV, Markdown} {
+		if err := tbl.Render(&buf, f); err == nil {
+			t.Fatalf("format %v accepted ragged row", f)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{"text": Text, "csv": CSV, "md": Markdown, "markdown": Markdown}
+	for s, want := range cases {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("ParseFormat accepted yaml")
+	}
+}
+
+func TestIntAndStringCells(t *testing.T) {
+	tbl := New("", "n", "s")
+	tbl.AddRow(42, "x")
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "42,x") {
+		t.Fatalf("cell formatting wrong: %q", buf.String())
+	}
+}

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pool size shorthands.
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// apps is the model catalog for the 26 SPEC CPU2000 applications. Pool
+// sizes are chosen against the simulated hierarchy (64 KB L1D, 512 KB L2,
+// 4 MB L3) so each model lands in its paper-reported behaviour class; the
+// per-app cold/stream fractions are calibrated so misses-per-100-instructions
+// and the CPI breakdown track Figure 1 of the paper qualitatively (mcf worst,
+// then the streaming FP codes, with the ILP codes cache-resident).
+var apps = map[string]App{
+	// ---- integer applications -------------------------------------------
+	"gzip": {
+		Name: "gzip", Class: ILP,
+		LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.17,
+		MispredictRate: 0.06, TakenRate: 0.6,
+		MeanDep: 4.0, IndepFrac: 0.18, Dep2Frac: 0.35, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.80,
+		Streams: 4, StreamBytes: 32 * kb, StreamFrac: 0.20, StrideBytes: 8,
+		CodeBytes: 32 * kb, JumpFrac: 0.05,
+	},
+	"vpr": {
+		Name: "vpr", Class: MEM,
+		LoadFrac: 0.25, StoreFrac: 0.07, BranchFrac: 0.14,
+		MispredictRate: 0.08, TakenRate: 0.6,
+		MeanDep: 3.0, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.03,
+		HotBytes: 16 * kb, HotFrac: 0.815,
+		Streams: 2, StreamBytes: 96 * kb, StreamFrac: 0.16, StrideBytes: 8,
+		ColdBytes: 24 * mb, ChaseFrac: 0.2, BurstDuty: 0.3, BurstLen: 300,
+		CodeBytes: 48 * kb, JumpFrac: 0.05,
+	},
+	"gcc": {
+		Name: "gcc", Class: MID,
+		LoadFrac: 0.25, StoreFrac: 0.11, BranchFrac: 0.16,
+		MispredictRate: 0.05, TakenRate: 0.65,
+		MeanDep: 3.5, IndepFrac: 0.30, Dep2Frac: 0.35, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.78,
+		Streams: 2, StreamBytes: 48 * kb, StreamFrac: 0.16, StrideBytes: 8,
+		ColdBytes: 192 * kb, ChaseFrac: 0.1, BurstDuty: 0.4, BurstLen: 200,
+		CodeBytes: 256 * kb, JumpFrac: 0.15,
+	},
+	"mcf": {
+		Name: "mcf", Class: MEM,
+		LoadFrac: 0.30, StoreFrac: 0.09, BranchFrac: 0.19,
+		MispredictRate: 0.09, TakenRate: 0.6,
+		MeanDep: 2.2, IndepFrac: 0.22, Dep2Frac: 0.45, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.71,
+		Streams: 2, StreamBytes: 512 * kb, StreamFrac: 0.20, StrideBytes: 8,
+		ColdBytes: 160 * mb, ChaseFrac: 0.8, BurstDuty: 0.25, BurstLen: 400,
+		CodeBytes: 24 * kb, JumpFrac: 0.05,
+	},
+	"crafty": {
+		Name: "crafty", Class: ILP,
+		LoadFrac: 0.27, StoreFrac: 0.07, BranchFrac: 0.12,
+		MispredictRate: 0.08, TakenRate: 0.55,
+		MeanDep: 4.0, IndepFrac: 0.18, Dep2Frac: 0.35, LongLatFrac: 0.03,
+		HotBytes: 16 * kb, HotFrac: 0.90,
+		Streams: 2, StreamBytes: 16 * kb, StreamFrac: 0.10, StrideBytes: 8,
+		CodeBytes: 128 * kb, JumpFrac: 0.20,
+	},
+	"parser": {
+		Name: "parser", Class: MID,
+		LoadFrac: 0.24, StoreFrac: 0.09, BranchFrac: 0.17,
+		MispredictRate: 0.06, TakenRate: 0.6,
+		MeanDep: 3.2, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.84,
+		Streams: 2, StreamBytes: 32 * kb, StreamFrac: 0.13, StrideBytes: 8,
+		ColdBytes: 128 * kb, ChaseFrac: 0.25, BurstDuty: 0.3, BurstLen: 200,
+		CodeBytes: 64 * kb, JumpFrac: 0.08,
+	},
+	"eon": {
+		Name: "eon", Class: ILP,
+		LoadFrac: 0.26, StoreFrac: 0.13, BranchFrac: 0.11,
+		MispredictRate: 0.04, TakenRate: 0.55,
+		MeanDep: 4.5, IndepFrac: 0.18, Dep2Frac: 0.3, LongLatFrac: 0.04,
+		HotBytes: 12 * kb, HotFrac: 0.95,
+		Streams: 1, StreamBytes: 8 * kb, StreamFrac: 0.05, StrideBytes: 8,
+		CodeBytes: 96 * kb, JumpFrac: 0.15,
+	},
+	"perlbmk": {
+		Name: "perlbmk", Class: MID,
+		LoadFrac: 0.25, StoreFrac: 0.12, BranchFrac: 0.15,
+		MispredictRate: 0.05, TakenRate: 0.6,
+		MeanDep: 3.8, IndepFrac: 0.30, Dep2Frac: 0.35, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.87,
+		Streams: 2, StreamBytes: 24 * kb, StreamFrac: 0.09, StrideBytes: 8,
+		ColdBytes: 128 * kb, ChaseFrac: 0.1,
+		CodeBytes: 192 * kb, JumpFrac: 0.18,
+	},
+	"gap": {
+		Name: "gap", Class: MID,
+		LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.14,
+		MispredictRate: 0.04, TakenRate: 0.6,
+		MeanDep: 3.8, IndepFrac: 0.30, Dep2Frac: 0.35, LongLatFrac: 0.03,
+		HotBytes: 16 * kb, HotFrac: 0.76,
+		Streams: 2, StreamBytes: 48 * kb, StreamFrac: 0.20, StrideBytes: 8,
+		ColdBytes: 128 * kb, ChaseFrac: 0.1,
+		CodeBytes: 64 * kb, JumpFrac: 0.1,
+	},
+	"vortex": {
+		Name: "vortex", Class: MID,
+		LoadFrac: 0.27, StoreFrac: 0.14, BranchFrac: 0.14,
+		MispredictRate: 0.03, TakenRate: 0.6,
+		MeanDep: 4.0, IndepFrac: 0.30, Dep2Frac: 0.3, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.84,
+		Streams: 2, StreamBytes: 32 * kb, StreamFrac: 0.12, StrideBytes: 8,
+		ColdBytes: 128 * kb, ChaseFrac: 0.15,
+		CodeBytes: 128 * kb, JumpFrac: 0.12,
+	},
+	"bzip2": {
+		Name: "bzip2", Class: ILP,
+		LoadFrac: 0.23, StoreFrac: 0.10, BranchFrac: 0.15,
+		MispredictRate: 0.07, TakenRate: 0.6,
+		MeanDep: 3.8, IndepFrac: 0.18, Dep2Frac: 0.35, LongLatFrac: 0.02,
+		HotBytes: 16 * kb, HotFrac: 0.70,
+		Streams: 2, StreamBytes: 48 * kb, StreamFrac: 0.30, StrideBytes: 8,
+		CodeBytes: 32 * kb, JumpFrac: 0.05,
+	},
+	"twolf": {
+		Name: "twolf", Class: MID,
+		LoadFrac: 0.24, StoreFrac: 0.06, BranchFrac: 0.15,
+		MispredictRate: 0.09, TakenRate: 0.55,
+		MeanDep: 3.0, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.03,
+		HotBytes: 24 * kb, HotFrac: 0.75,
+		Streams: 1, StreamBytes: 16 * kb, StreamFrac: 0.05, StrideBytes: 8,
+		ColdBytes: 192 * kb, ChaseFrac: 0.2, BurstDuty: 0.3, BurstLen: 200,
+		CodeBytes: 48 * kb, JumpFrac: 0.06,
+	},
+
+	// ---- floating-point applications ------------------------------------
+	"wupwise": {
+		Name: "wupwise", Class: ILP, FP: true,
+		LoadFrac: 0.23, StoreFrac: 0.09, BranchFrac: 0.05, FPFrac: 0.6,
+		MispredictRate: 0.02, TakenRate: 0.7,
+		MeanDep: 5.0, IndepFrac: 0.18, Dep2Frac: 0.35, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.60,
+		Streams: 2, StreamBytes: 64 * kb, StreamFrac: 0.40, StrideBytes: 8,
+		CodeBytes: 24 * kb, JumpFrac: 0.03,
+	},
+	"swim": {
+		Name: "swim", Class: MEM, FP: true,
+		LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.02, FPFrac: 0.75,
+		MispredictRate: 0.01, TakenRate: 0.8,
+		MeanDep: 5.5, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.52,
+		Streams: 4, StreamBytes: 190 * mb, StreamFrac: 0.48, StrideBytes: 8,
+		CodeBytes: 16 * kb, JumpFrac: 0.02,
+	},
+	"mgrid": {
+		Name: "mgrid", Class: MID, FP: true,
+		LoadFrac: 0.30, StoreFrac: 0.03, BranchFrac: 0.03, FPFrac: 0.7,
+		MispredictRate: 0.01, TakenRate: 0.8,
+		MeanDep: 5.5, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.78,
+		Streams: 8, StreamBytes: 56 * mb, StreamFrac: 0.12, StrideBytes: 8,
+		ColdBytes: 128 * kb, ChaseFrac: 0,
+		CodeBytes: 16 * kb, JumpFrac: 0.02,
+	},
+	"applu": {
+		Name: "applu", Class: MEM, FP: true,
+		LoadFrac: 0.26, StoreFrac: 0.09, BranchFrac: 0.02, FPFrac: 0.75,
+		MispredictRate: 0.01, TakenRate: 0.8,
+		MeanDep: 5.0, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.06,
+		HotBytes: 16 * kb, HotFrac: 0.70,
+		Streams: 6, StreamBytes: 160 * mb, StreamFrac: 0.30, StrideBytes: 8,
+		CodeBytes: 24 * kb, JumpFrac: 0.02,
+	},
+	"mesa": {
+		Name: "mesa", Class: ILP, FP: true,
+		LoadFrac: 0.25, StoreFrac: 0.09, BranchFrac: 0.08, FPFrac: 0.45,
+		MispredictRate: 0.03, TakenRate: 0.6,
+		MeanDep: 4.5, IndepFrac: 0.18, Dep2Frac: 0.3, LongLatFrac: 0.04,
+		HotBytes: 16 * kb, HotFrac: 0.85,
+		Streams: 2, StreamBytes: 24 * kb, StreamFrac: 0.15, StrideBytes: 8,
+		CodeBytes: 64 * kb, JumpFrac: 0.08,
+	},
+	"galgel": {
+		Name: "galgel", Class: ILP, FP: true,
+		LoadFrac: 0.28, StoreFrac: 0.06, BranchFrac: 0.05, FPFrac: 0.65,
+		MispredictRate: 0.01, TakenRate: 0.75,
+		MeanDep: 5.0, IndepFrac: 0.18, Dep2Frac: 0.4, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.60,
+		Streams: 4, StreamBytes: 64 * kb, StreamFrac: 0.40, StrideBytes: 8,
+		CodeBytes: 24 * kb, JumpFrac: 0.02,
+	},
+	"art": {
+		Name: "art", Class: MID, FP: true,
+		LoadFrac: 0.30, StoreFrac: 0.05, BranchFrac: 0.08, FPFrac: 0.6,
+		MispredictRate: 0.02, TakenRate: 0.75,
+		MeanDep: 4.5, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.04,
+		HotBytes: 16 * kb, HotFrac: 0.50,
+		Streams: 2, StreamBytes: 1 * mb, StreamFrac: 0.45, StrideBytes: 64,
+		ColdBytes: 96 * kb, ChaseFrac: 0,
+		CodeBytes: 16 * kb, JumpFrac: 0.02,
+	},
+	"equake": {
+		Name: "equake", Class: MEM, FP: true,
+		LoadFrac: 0.28, StoreFrac: 0.07, BranchFrac: 0.06, FPFrac: 0.6,
+		MispredictRate: 0.02, TakenRate: 0.7,
+		MeanDep: 4.0, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.78,
+		Streams: 2, StreamBytes: 32 * mb, StreamFrac: 0.20, StrideBytes: 8,
+		ColdBytes: 16 * mb, ChaseFrac: 0.2, BurstDuty: 0.35, BurstLen: 300,
+		CodeBytes: 24 * kb, JumpFrac: 0.03,
+	},
+	"facerec": {
+		Name: "facerec", Class: MEM, FP: true,
+		LoadFrac: 0.26, StoreFrac: 0.06, BranchFrac: 0.04, FPFrac: 0.65,
+		MispredictRate: 0.01, TakenRate: 0.75,
+		MeanDep: 5.0, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.70,
+		Streams: 2, StreamBytes: 12 * mb, StreamFrac: 0.30, StrideBytes: 8,
+		CodeBytes: 24 * kb, JumpFrac: 0.02,
+	},
+	"ammp": {
+		Name: "ammp", Class: MEM, FP: true,
+		LoadFrac: 0.28, StoreFrac: 0.08, BranchFrac: 0.07, FPFrac: 0.55,
+		MispredictRate: 0.02, TakenRate: 0.65,
+		MeanDep: 2.5, IndepFrac: 0.22, Dep2Frac: 0.45, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.71,
+		Streams: 2, StreamBytes: 1 * mb, StreamFrac: 0.25, StrideBytes: 8,
+		ColdBytes: 24 * mb, ChaseFrac: 0.05, BurstDuty: 0.12, BurstLen: 400,
+		CodeBytes: 24 * kb, JumpFrac: 0.03,
+	},
+	"lucas": {
+		Name: "lucas", Class: MEM, FP: true,
+		LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.02, FPFrac: 0.8,
+		MispredictRate: 0.01, TakenRate: 0.8,
+		MeanDep: 5.5, IndepFrac: 0.30, Dep2Frac: 0.4, LongLatFrac: 0.06,
+		HotBytes: 16 * kb, HotFrac: 0.58,
+		Streams: 2, StreamBytes: 128 * mb, StreamFrac: 0.42, StrideBytes: 8,
+		CodeBytes: 16 * kb, JumpFrac: 0.02,
+	},
+	"fma3d": {
+		Name: "fma3d", Class: MID, FP: true,
+		LoadFrac: 0.26, StoreFrac: 0.09, BranchFrac: 0.06, FPFrac: 0.6,
+		MispredictRate: 0.02, TakenRate: 0.7,
+		MeanDep: 4.5, IndepFrac: 0.30, Dep2Frac: 0.35, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.80,
+		Streams: 4, StreamBytes: 16 * mb, StreamFrac: 0.15, StrideBytes: 8,
+		ColdBytes: 64 * kb, ChaseFrac: 0,
+		CodeBytes: 96 * kb, JumpFrac: 0.05,
+	},
+	"sixtrack": {
+		Name: "sixtrack", Class: ILP, FP: true,
+		LoadFrac: 0.25, StoreFrac: 0.08, BranchFrac: 0.04, FPFrac: 0.7,
+		MispredictRate: 0.01, TakenRate: 0.75,
+		MeanDep: 5.5, IndepFrac: 0.18, Dep2Frac: 0.35, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.90,
+		Streams: 2, StreamBytes: 16 * kb, StreamFrac: 0.10, StrideBytes: 8,
+		CodeBytes: 48 * kb, JumpFrac: 0.03,
+	},
+	"apsi": {
+		Name: "apsi", Class: MID, FP: true,
+		LoadFrac: 0.26, StoreFrac: 0.08, BranchFrac: 0.05, FPFrac: 0.65,
+		MispredictRate: 0.02, TakenRate: 0.7,
+		MeanDep: 4.5, IndepFrac: 0.30, Dep2Frac: 0.35, LongLatFrac: 0.05,
+		HotBytes: 16 * kb, HotFrac: 0.75,
+		Streams: 4, StreamBytes: 8 * mb, StreamFrac: 0.20, StrideBytes: 8,
+		ColdBytes: 128 * kb, ChaseFrac: 0,
+		CodeBytes: 32 * kb, JumpFrac: 0.03,
+	},
+}
+
+// ByName returns an application model.
+func ByName(name string) (App, error) {
+	a, ok := apps[name]
+	if !ok {
+		return App{}, fmt.Errorf("workload: unknown application %q", name)
+	}
+	return a, nil
+}
+
+// Names lists all 26 modeled applications, sorted.
+func Names() []string {
+	out := make([]string, 0, len(apps))
+	for n := range apps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mix is one of the paper's Table 2 workloads.
+type Mix struct {
+	// Name is e.g. "4-MEM".
+	Name string
+	// Apps are the application names, one per hardware thread.
+	Apps []string
+}
+
+// Threads is the hardware thread count of the mix.
+func (m Mix) Threads() int { return len(m.Apps) }
+
+// mixes reproduces Table 2 exactly.
+var mixes = []Mix{
+	{Name: "2-ILP", Apps: []string{"bzip2", "gzip"}},
+	{Name: "2-MIX", Apps: []string{"gzip", "mcf"}},
+	{Name: "2-MEM", Apps: []string{"mcf", "ammp"}},
+	{Name: "4-ILP", Apps: []string{"bzip2", "gzip", "sixtrack", "eon"}},
+	{Name: "4-MIX", Apps: []string{"gzip", "mcf", "bzip2", "ammp"}},
+	{Name: "4-MEM", Apps: []string{"mcf", "ammp", "swim", "lucas"}},
+	{Name: "8-ILP", Apps: []string{"gzip", "bzip2", "sixtrack", "eon", "mesa", "galgel", "crafty", "wupwise"}},
+	{Name: "8-MIX", Apps: []string{"gzip", "mcf", "bzip2", "ammp", "sixtrack", "swim", "eon", "lucas"}},
+	{Name: "8-MEM", Apps: []string{"mcf", "ammp", "swim", "lucas", "equake", "applu", "vpr", "facerec"}},
+}
+
+// Mixes returns the Table 2 workload catalog in presentation order.
+func Mixes() []Mix {
+	out := make([]Mix, len(mixes))
+	copy(out, mixes)
+	return out
+}
+
+// MixByName looks up a Table 2 workload.
+func MixByName(name string) (Mix, error) {
+	for _, m := range mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// MixApps resolves a mix's application models.
+func MixApps(m Mix) ([]App, error) {
+	out := make([]App, len(m.Apps))
+	for i, n := range m.Apps {
+		a, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin down the miss-phase (burst) modulator and the
+// independence structure of cold loads.
+
+func TestBurstPreservesAverageColdRate(t *testing.T) {
+	// mcf's cold share must be preserved on average whether or not phasing
+	// is enabled.
+	a, _ := ByName("mcf")
+	coldShare := 1 - a.HotFrac - a.StreamFrac
+
+	count := func(app App) float64 {
+		g, err := NewGen(app, 0, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Long sample: burst episodes are ~1600 references long, so shorter
+		// windows see only a handful of phases and the estimate is noisy.
+		const n = 2_000_000
+		cold := 0
+		for i := 0; i < n; i++ {
+			in := g.Next()
+			if (in.Kind == Load || in.Kind == Store) && in.Addr >= coldOff {
+				cold++
+			}
+		}
+		return float64(cold) / n
+	}
+
+	bursty := count(a)
+	flat := a
+	flat.BurstDuty = 0
+	smooth := count(flat)
+
+	wantRate := (a.LoadFrac + a.StoreFrac) * coldShare
+	for name, got := range map[string]float64{"bursty": bursty, "smooth": smooth} {
+		if math.Abs(got-wantRate) > wantRate*0.25 {
+			t.Errorf("%s cold rate = %.4f, want ≈%.4f", name, got, wantRate)
+		}
+	}
+}
+
+func TestBurstsAreClustered(t *testing.T) {
+	// With phasing on, cold references must cluster: the variance of
+	// per-window cold counts should far exceed the Poisson-like variance of
+	// the memoryless generator.
+	variance := func(app App) float64 {
+		g, _ := NewGen(app, 0, 33)
+		const windows, win = 300, 1000
+		var sum, sumSq float64
+		for w := 0; w < windows; w++ {
+			cold := 0.0
+			for i := 0; i < win; i++ {
+				in := g.Next()
+				if (in.Kind == Load || in.Kind == Store) && in.Addr >= coldOff {
+					cold++
+				}
+			}
+			sum += cold
+			sumSq += cold * cold
+		}
+		mean := sum / windows
+		return sumSq/windows - mean*mean
+	}
+
+	a, _ := ByName("ammp")
+	bursty := variance(a)
+	flat := a
+	flat.BurstDuty = 0
+	smooth := variance(flat)
+	if bursty < 3*smooth {
+		t.Fatalf("burst variance %.1f not clearly above memoryless variance %.1f", bursty, smooth)
+	}
+}
+
+func TestColdGathersAreIndependent(t *testing.T) {
+	// ammp (ChaseFrac 0.05): nearly all cold loads must carry no
+	// dependences, so bursts expose memory-level parallelism.
+	a, _ := ByName("ammp")
+	g, _ := NewGen(a, 0, 11)
+	coldLoads, independent := 0, 0
+	for i := 0; i < 300_000; i++ {
+		in := g.Next()
+		if in.Kind == Load && in.Addr >= coldOff {
+			coldLoads++
+			if in.Dep1 == 0 && in.Dep2 == 0 {
+				independent++
+			}
+		}
+	}
+	if coldLoads == 0 {
+		t.Fatal("no cold loads generated")
+	}
+	if frac := float64(independent) / float64(coldLoads); frac < 0.85 {
+		t.Fatalf("only %.2f of ammp cold loads independent, want ≥0.85", frac)
+	}
+}
+
+func TestChaseStillSerializesMcf(t *testing.T) {
+	a, _ := ByName("mcf")
+	g, _ := NewGen(a, 0, 11)
+	coldLoads, chased := 0, 0
+	for i := 0; i < 300_000; i++ {
+		in := g.Next()
+		if in.Kind == Load && in.Addr >= coldOff {
+			coldLoads++
+			if in.Dep1 > 0 {
+				chased++
+			}
+		}
+	}
+	if coldLoads == 0 {
+		t.Fatal("no cold loads generated")
+	}
+	if frac := float64(chased) / float64(coldLoads); frac < 0.6 {
+		t.Fatalf("only %.2f of mcf cold loads chained, want ≥0.6 (ChaseFrac 0.8)", frac)
+	}
+}
+
+func TestThreadSkewSeparatesPools(t *testing.T) {
+	a, _ := ByName("gzip")
+	g0, _ := NewGen(a, 0, 5)
+	g1, _ := NewGen(a, 1, 5)
+	// Hot-pool addresses of different threads must not share cache sets:
+	// their skews differ by an odd multiple of the line size.
+	const spaceMask = uint64(1)<<threadAddrBits - 1
+	var a0, a1 uint64
+	for i := 0; i < 1_000_000 && (a0 == 0 || a1 == 0); i++ {
+		if in := g0.Next(); in.Kind == Load && in.Addr >= hotOff && in.Addr < streamOff {
+			a0 = in.Addr
+		}
+		if in := g1.Next(); in.Kind == Load {
+			if off := in.Addr & spaceMask; off >= hotOff && off < streamOff {
+				a1 = in.Addr
+			}
+		}
+	}
+	if a0 == 0 || a1 == 0 {
+		t.Fatal("hot-pool references not found")
+	}
+	if off := a1 & spaceMask; off < hotOff+threadSkew {
+		t.Fatalf("thread 1 hot pool at %#x, want skewed by %#x", off, uint64(threadSkew))
+	}
+}

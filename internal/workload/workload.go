@@ -1,0 +1,398 @@
+// Package workload provides synthetic instruction-stream models of the 26
+// SPEC CPU2000 applications the paper mixes into SMT workloads, plus the
+// Table 2 workload catalog.
+//
+// Real SPEC binaries and reference inputs are not available here, so each
+// application is modeled as a statistical generator over three address pools
+// — a hot pool that fits in the L1, sequential streams, and a cold random
+// region — with an instruction mix, a dependence-distance distribution, and
+// branch behaviour. The pools are sized against the simulated hierarchy
+// (64 KB L1D / 512 KB L2 / 4 MB L3) so each application reproduces its
+// paper-reported behaviour class: cache-resident ILP codes, streaming
+// array codes with high row-buffer locality (swim, lucas, applu), and
+// pointer-chasing codes with poor locality and serialized misses (mcf,
+// ammp). See DESIGN.md §2 for the substitution rationale.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind is an instruction class.
+type Kind uint8
+
+const (
+	IntOp Kind = iota
+	FPOp
+	Load
+	Store
+	Branch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case IntOp:
+		return "int"
+	case FPOp:
+		return "fp"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Class is the paper's application category.
+type Class int
+
+const (
+	// ILP applications have small CPIproc and CPImem: compute-bound.
+	ILP Class = iota
+	// MID applications fall between the paper's two categories.
+	MID
+	// MEM applications have large CPImem: memory-bound.
+	MEM
+)
+
+func (c Class) String() string {
+	switch c {
+	case ILP:
+		return "ILP"
+	case MID:
+		return "MID"
+	case MEM:
+		return "MEM"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Instr is one dynamic instruction produced by a generator.
+type Instr struct {
+	// Kind classifies the instruction.
+	Kind Kind
+	// PC is the instruction's address (for I-cache modeling).
+	PC uint64
+	// Addr is the data address for Load/Store.
+	Addr uint64
+	// Dep1 and Dep2 are producer distances in dynamic instructions
+	// (0 = no dependence). The consumer cannot issue until instructions
+	// Dep* earlier have completed.
+	Dep1, Dep2 int
+	// Lat is the execution latency in cycles (loads: cache adds more).
+	Lat int
+	// Mispredict marks a branch that will squash younger instructions when
+	// it resolves.
+	Mispredict bool
+	// Taken marks branches that redirect fetch (ends the fetch block).
+	Taken bool
+}
+
+// App is a synthetic application model.
+type App struct {
+	Name  string
+	Class Class
+	FP    bool // floating-point benchmark
+
+	// Instruction mix (fractions of the dynamic stream; remainder is
+	// IntOp/FPOp split by FPFrac).
+	LoadFrac, StoreFrac, BranchFrac float64
+	// FPFrac is the fraction of non-memory ALU work that is floating point.
+	FPFrac float64
+	// MispredictRate is the fraction of branches mispredicted.
+	MispredictRate float64
+	// TakenRate is the fraction of branches taken.
+	TakenRate float64
+
+	// MeanDep is the mean producer distance (larger = more ILP).
+	MeanDep float64
+	// IndepFrac is the probability an instruction has no register
+	// dependences at all (immediates, loop counters in renamed registers,
+	// address arithmetic off long-ready bases). This bounds how much of a
+	// stalled thread transitively blocks in the shared issue queues — real
+	// codes leak a steady stream of independent work even while a miss is
+	// outstanding.
+	IndepFrac float64
+	// Dep2Frac is the probability an instruction has a second producer.
+	Dep2Frac float64
+	// LongLatFrac is the fraction of ALU ops with long latency (mult/div).
+	LongLatFrac float64
+
+	// HotBytes is the L1-resident pool (stack, locals, hot structures).
+	HotBytes int64
+	// HotFrac is the fraction of memory references to the hot pool.
+	HotFrac float64
+	// Streams is the number of concurrent sequential streams.
+	Streams int
+	// StreamBytes is the total footprint walked by the streams.
+	StreamBytes int64
+	// StreamFrac is the fraction of references that advance a stream.
+	StreamFrac float64
+	// StrideBytes is the stream stride.
+	StrideBytes int64
+	// ColdBytes is the random-access region; references that are neither
+	// hot nor streaming land here uniformly.
+	ColdBytes int64
+	// ChaseFrac is the probability a cold load depends on the previous cold
+	// load (pointer chasing: serialized misses).
+	ChaseFrac float64
+	// BurstDuty makes cold references bursty: they arrive only during miss
+	// phases covering this fraction of execution, at proportionally higher
+	// intensity, preserving the average rate. 0 (or 1) disables phasing.
+	// This models the paper's observation that "cache misses tend to be
+	// clustered together", which is what creates DRAM queueing and gives
+	// access scheduling its reordering window.
+	BurstDuty float64
+	// BurstLen is the mean burst length in instructions (default 300).
+	BurstLen int
+
+	// CodeBytes is the instruction footprint.
+	CodeBytes int64
+	// JumpFrac is the fraction of taken branches that jump far (to a random
+	// line in the code footprint) rather than locally.
+	JumpFrac float64
+}
+
+// Validate sanity-checks fractions and sizes.
+func (a App) Validate() error {
+	sum := a.LoadFrac + a.StoreFrac + a.BranchFrac
+	if sum <= 0 || sum >= 1 {
+		return fmt.Errorf("workload %s: load+store+branch = %v, want (0,1)", a.Name, sum)
+	}
+	if a.HotFrac+a.StreamFrac > 1 {
+		return fmt.Errorf("workload %s: hot+stream fractions exceed 1", a.Name)
+	}
+	if a.HotBytes <= 0 || a.CodeBytes <= 0 {
+		return fmt.Errorf("workload %s: non-positive pool size", a.Name)
+	}
+	if a.StreamFrac > 0 && (a.Streams <= 0 || a.StreamBytes <= 0 || a.StrideBytes <= 0) {
+		return fmt.Errorf("workload %s: streaming enabled with empty stream geometry", a.Name)
+	}
+	if a.HotFrac+a.StreamFrac < 1 && a.ColdBytes <= 0 {
+		return fmt.Errorf("workload %s: cold references enabled with no cold region", a.Name)
+	}
+	return nil
+}
+
+// threadAddrBits separates per-thread address spaces: thread i's addresses
+// live at i << threadAddrBits. Threads share caches but not data, matching
+// the paper's multiprogrammed (not parallel) workloads.
+const threadAddrBits = 40
+
+// threadSkew staggers each thread's pools within its address space so
+// different threads' hot data do not collide on the same cache sets. This
+// models the bin-hopping virtual→physical page mapping the paper uses
+// ("the cache interference between threads may be reduced by using a
+// virtual-physical address mapping called bin hopping ... A similar mapping
+// is used in our simulation"). The stride is an odd multiple of the line
+// size, so consecutive threads land on well-separated sets at every level.
+const threadSkew = 64 * 22651
+
+// Gen produces the dynamic instruction stream of one thread running app.
+type Gen struct {
+	app  App
+	rng  *rand.Rand
+	base uint64
+	skew uint64
+
+	pc        uint64
+	streamPos []int64
+	sinceCold int // dynamic distance since the previous cold load
+	count     uint64
+	inBurst   bool
+}
+
+// NewGen builds a deterministic generator for hardware thread threadID.
+func NewGen(app App, threadID int, seed int64) (*Gen, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gen{
+		app:       app,
+		rng:       rand.New(rand.NewSource(seed ^ int64(threadID+1)*0x5E3779B97F4A7C15)),
+		base:      uint64(threadID) << threadAddrBits,
+		skew:      uint64(threadID) * threadSkew,
+		streamPos: make([]int64, max(app.Streams, 1)),
+	}
+	g.pc = g.codeBase() // code region starts at the (skewed) thread base
+	// Stagger stream start positions so streams live in distinct rows.
+	for i := range g.streamPos {
+		if app.Streams > 0 {
+			g.streamPos[i] = int64(i) * (app.StreamBytes / int64(app.Streams))
+		}
+	}
+	return g, nil
+}
+
+// App returns the model being generated.
+func (g *Gen) App() App { return g.app }
+
+// Generated returns the number of instructions produced so far.
+func (g *Gen) Generated() uint64 { return g.count }
+
+// regions within a thread's address space (byte offsets from base).
+const (
+	codeOff   = uint64(0)
+	hotOff    = uint64(1) << 28 // 256 MB in: clear of the code
+	streamOff = uint64(1) << 30
+	coldOff   = uint64(1) << 33
+)
+
+func (g *Gen) codeBase() uint64 { return g.base + codeOff + g.skew }
+
+// Next produces the next dynamic instruction.
+func (g *Gen) Next() Instr {
+	g.count++
+	a := &g.app
+	in := Instr{PC: g.pc, Lat: 1}
+	g.pc += 4
+
+	r := g.rng.Float64()
+	switch {
+	case r < a.LoadFrac:
+		in.Kind = Load
+		in.Addr = g.dataAddr(&in)
+	case r < a.LoadFrac+a.StoreFrac:
+		in.Kind = Store
+		in.Addr = g.dataAddr(nil)
+	case r < a.LoadFrac+a.StoreFrac+a.BranchFrac:
+		in.Kind = Branch
+		in.Mispredict = g.rng.Float64() < a.MispredictRate
+		if g.rng.Float64() < a.TakenRate {
+			in.Taken = true
+			g.branchTarget()
+		}
+	default:
+		if g.rng.Float64() < a.FPFrac {
+			in.Kind = FPOp
+			in.Lat = 4
+		} else {
+			in.Kind = IntOp
+			in.Lat = 1
+		}
+		if g.rng.Float64() < a.LongLatFrac {
+			in.Lat = 7
+		}
+	}
+
+	switch {
+	case in.Dep1 < 0:
+		in.Dep1 = 0 // forced independent
+	case in.Dep1 == 0 && g.rng.Float64() >= a.IndepFrac:
+		in.Dep1 = g.depDist()
+	}
+	if in.Dep1 != 0 && g.rng.Float64() < a.Dep2Frac {
+		in.Dep2 = g.depDist()
+	}
+	if g.sinceCold >= 0 {
+		g.sinceCold++
+	}
+	return in
+}
+
+// depDist samples a geometric-ish producer distance with mean MeanDep.
+func (g *Gen) depDist() int {
+	d := 1
+	p := 1 - 1/g.app.MeanDep
+	for g.rng.Float64() < p && d < 64 {
+		d++
+	}
+	return d
+}
+
+// burstStep advances the two-state miss-phase modulator and returns the
+// effective cold-reference fraction for this reference.
+func (g *Gen) burstStep() float64 {
+	a := &g.app
+	cold := 1 - a.HotFrac - a.StreamFrac
+	duty := a.BurstDuty
+	if duty <= 0 || duty >= 1 || cold <= 0 {
+		return cold
+	}
+	blen := float64(a.BurstLen)
+	if blen <= 0 {
+		blen = 300
+	}
+	if g.inBurst {
+		if g.rng.Float64() < 1/blen {
+			g.inBurst = false
+		}
+	} else {
+		if g.rng.Float64() < duty/((1-duty)*blen) {
+			g.inBurst = true
+		}
+	}
+	if !g.inBurst {
+		return 0
+	}
+	eff := cold / duty
+	if max := 1 - a.StreamFrac; eff > max {
+		eff = max
+	}
+	return eff
+}
+
+// dataAddr picks the data pool and produces an address. For cold loads it
+// may also wire a pointer-chase dependence into in.
+func (g *Gen) dataAddr(in *Instr) uint64 {
+	a := &g.app
+	cold := g.burstStep()
+	r := g.rng.Float64()
+	switch {
+	case r >= 1-cold:
+		if in != nil {
+			if a.ChaseFrac > 0 && g.sinceCold >= 0 &&
+				g.sinceCold < 64 && g.rng.Float64() < a.ChaseFrac {
+				in.Dep1 = g.sinceCold
+			} else {
+				// Non-chased cold loads are independent gathers: their
+				// index arithmetic is cache-resident and long since done.
+				// This is what lets bursty codes expose real memory-level
+				// parallelism (clusters of concurrent misses, Fig 4).
+				in.Dep1 = -1
+			}
+			g.sinceCold = 0
+		}
+		return g.base + coldOff + g.skew + uint64(g.rng.Int63n(a.ColdBytes))&^7
+	case r < a.HotFrac || r >= a.HotFrac+a.StreamFrac:
+		return g.base + hotOff + g.skew + uint64(g.rng.Int63n(a.HotBytes))&^7
+	default:
+		s := g.rng.Intn(a.Streams)
+		span := a.StreamBytes / int64(a.Streams)
+		addr := g.base + streamOff + g.skew + uint64(int64(s)*span+g.streamPos[s]%span)
+		g.streamPos[s] += a.StrideBytes
+		return addr &^ 7
+	}
+}
+
+// branchTarget redirects the PC on a taken branch: usually a short local
+// jump (loop), occasionally a far jump across the code footprint.
+func (g *Gen) branchTarget() {
+	a := &g.app
+	cb := g.codeBase()
+	if g.rng.Float64() < a.JumpFrac {
+		g.pc = cb + uint64(g.rng.Int63n(a.CodeBytes))&^3
+		return
+	}
+	// Local backward jump of up to 64 instructions: a loop.
+	back := uint64(g.rng.Intn(64)+1) * 4
+	if g.pc-cb > back {
+		g.pc -= back
+	}
+	// Keep the PC inside the code footprint.
+	if g.pc-cb >= uint64(a.CodeBytes) {
+		g.pc = cb + (g.pc-cb)%uint64(a.CodeBytes)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
