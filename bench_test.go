@@ -54,6 +54,37 @@ func BenchmarkTable2Machine(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
 }
 
+// BenchmarkObsDisabled is the nil-sink baseline for BenchmarkObsEnabled:
+// identical machine and mix, observability left nil. The pair measures the
+// one-pointer-check cost of the disabled instrumentation against
+// BenchmarkTable2Machine's historical numbers, and the enabled overhead
+// against this baseline.
+func BenchmarkObsDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(benchCfg("mcf", "ammp")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsEnabled runs the same machine with the full observability stack
+// (lifecycle trace, per-1000-cycle metrics sampling, loop profiling) attached.
+func BenchmarkObsEnabled(b *testing.B) {
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("mcf", "ammp")
+		ob := NewObserver(ObsOptions{Trace: true, Metrics: true, Profile: true})
+		cfg.Observe = func() *Observer { return ob }
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		events += ob.Trace.Len()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "traceevents/run")
+}
+
 // BenchmarkFig1CPIBreakdown regenerates the CPI breakdown for the extremes of
 // Figure 1 (the full 26-app sweep lives in cmd/experiments -fig 1).
 func BenchmarkFig1CPIBreakdown(b *testing.B) {

@@ -16,7 +16,9 @@ import (
 	"strings"
 	"time"
 
+	"smtdram/internal/core"
 	"smtdram/internal/figures"
+	"smtdram/internal/obs"
 	"smtdram/internal/report"
 )
 
@@ -28,8 +30,23 @@ func main() {
 		target  = flag.Uint64("target", 100_000, "per-thread measured instructions")
 		seed    = flag.Int64("seed", 42, "workload seed")
 		verbose = flag.Bool("v", false, "print per-run progress")
+
+		traceDir   = flag.String("trace", "", "write one Chrome trace_event JSON per simulation run into this directory")
+		metricsOut = flag.String("metrics", "", "append every run's metrics to this file (JSON lines, runs separated by meta records)")
+		metricsInt = flag.Uint64("metrics-interval", 1000, "metrics sampling period in cycles")
 	)
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unexpected argument %q (all options are flags)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *metricsOut != "" && *metricsInt == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -metrics-interval must be at least 1 cycle")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {
@@ -43,6 +60,7 @@ func main() {
 	if *verbose {
 		opts.Out = os.Stderr
 	}
+	opts.Configure = observeConfigurer(*traceDir, *metricsOut, *metricsInt)
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -147,4 +165,68 @@ func main() {
 		figures.PrintFig10(os.Stdout, cells)
 		return nil
 	})
+}
+
+// observeConfigurer builds the Options.Configure hook that attaches a fresh
+// observer to every simulation a figure runs, flushing per-run output as each
+// run finishes: one Chrome trace file per run under traceDir, and all runs'
+// metrics appended to metricsPath (each run introduced by its meta record).
+// Returns nil when neither output is requested.
+func observeConfigurer(traceDir, metricsPath string, interval uint64) func(*core.Config) {
+	if traceDir == "" && metricsPath == "" {
+		return nil
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	var metricsFile *os.File
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		metricsFile = f
+	}
+	runN := 0
+	return func(cfg *core.Config) {
+		apps := strings.Join(cfg.Apps, "+")
+		cfg.Observe = func() *obs.Observer {
+			runN++
+			label := fmt.Sprintf("run%04d-%s", runN, apps)
+			ob := obs.New(obs.Options{
+				Metrics:         metricsFile != nil,
+				MetricsInterval: interval,
+				Trace:           traceDir != "",
+				Label:           label,
+			})
+			if ob == nil {
+				return nil
+			}
+			ob.OnFinish = func(ob *obs.Observer) {
+				if ob.Trace != nil {
+					path := traceDir + string(os.PathSeparator) + label + ".json"
+					f, err := os.Create(path)
+					if err == nil {
+						err = ob.Trace.WriteChrome(f)
+						if cerr := f.Close(); err == nil {
+							err = cerr
+						}
+					}
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+					}
+				}
+				if ob.Reg != nil && metricsFile != nil {
+					if err := ob.Reg.WriteJSONL(metricsFile, ob.Label, ob.FinalCycle); err != nil {
+						fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+					}
+				}
+			}
+			return ob
+		}
+	}
 }

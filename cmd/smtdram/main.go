@@ -21,6 +21,7 @@ import (
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
 	"smtdram/internal/memctrl"
+	"smtdram/internal/obs"
 	"smtdram/internal/stats"
 	"smtdram/internal/workload"
 )
@@ -40,8 +41,20 @@ func main() {
 		target   = flag.Uint64("target", 200_000, "per-thread measured instructions")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		dump     = flag.Bool("dump-config", false, "print the Table 1 configuration and exit")
+
+		traceOut   = flag.String("trace", "", "write a request-lifecycle trace to this file (.jsonl = JSON lines, anything else = Chrome trace_event JSON for Perfetto)")
+		metricsOut = flag.String("metrics", "", "write cycle-sampled metrics and final counters to this file (JSON lines)")
+		metricsInt = flag.Uint64("metrics-interval", 1000, "metrics sampling period in cycles")
+		profile    = flag.Bool("profile", false, "print event-loop profiling (events/cycle, wall time per simulated megacycle) to stderr")
 	)
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
+	if *metricsOut != "" && *metricsInt == 0 {
+		usageErr("-metrics-interval must be at least 1 cycle")
+	}
 
 	if *dump {
 		dumpConfig()
@@ -83,9 +96,76 @@ func main() {
 		fatalIf(fmt.Errorf("unknown page mode %q", *pagemode))
 	}
 
+	observer := obs.New(obs.Options{
+		Metrics:         *metricsOut != "",
+		MetricsInterval: *metricsInt,
+		Trace:           *traceOut != "",
+		Profile:         *profile,
+		Label:           strings.Join(names, "+"),
+	})
+	if observer != nil {
+		cfg.Observe = func() *obs.Observer { return observer }
+	}
+
 	res, err := core.Run(cfg)
 	fatalIf(err)
 	report(cfg, res)
+	fatalIf(writeObservability(observer, *traceOut, *metricsOut))
+}
+
+// writeObservability flushes the run's trace, metrics, and profile output.
+func writeObservability(ob *obs.Observer, tracePath, metricsPath string) error {
+	if ob == nil {
+		return nil
+	}
+	if tracePath != "" && ob.Trace != nil {
+		if err := writeTrace(ob.Trace, tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d lifecycle events -> %s\n", ob.Trace.Len(), tracePath)
+	}
+	if metricsPath != "" && ob.Reg != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := ob.Reg.WriteJSONL(f, ob.Label, ob.FinalCycle); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d metrics -> %s\n", len(ob.Reg.Names()), metricsPath)
+	}
+	if ob.Prof != nil {
+		fmt.Fprint(os.Stderr, ob.Prof.Summary())
+	}
+	return nil
+}
+
+func writeTrace(t *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// usageErr prints a usage message and exits non-zero (distinct from
+// simulation failures, which exit 1).
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "smtdram:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func report(cfg core.Config, res core.Result) {

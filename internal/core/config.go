@@ -13,6 +13,7 @@ import (
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
 	"smtdram/internal/memctrl"
+	"smtdram/internal/obs"
 )
 
 // DRAMKind selects the memory technology.
@@ -167,6 +168,14 @@ type Config struct {
 	// breakdown: PerfectL3 removes all DRAM traffic, PerfectL2 removes L3
 	// and DRAM traffic, PerfectL1 isolates CPIproc.
 	PerfectL1, PerfectL2, PerfectL3 bool
+
+	// Observe, when non-nil, is called once per constructed simulator to
+	// build its observability attachment (metrics registry, request-lifecycle
+	// tracer, event-loop profiler — see internal/obs). A factory rather than
+	// a value because some drivers (CPIBreakdown, WeightedSpeedup) run
+	// several simulations from one Config; each needs a fresh observer. A nil
+	// return disables observability for that run.
+	Observe func() *obs.Observer
 }
 
 // DefaultConfig returns the paper's Table 1 machine running the given apps

@@ -8,6 +8,7 @@ import (
 	"smtdram/internal/cpu"
 	"smtdram/internal/event"
 	"smtdram/internal/memctrl"
+	"smtdram/internal/obs"
 	"smtdram/internal/stats"
 	"smtdram/internal/workload"
 )
@@ -72,7 +73,11 @@ type Simulator struct {
 	l1d  *cache.Level
 	l2   *cache.Level
 	l3   *cache.Level
+	obs  *obs.Observer
 }
+
+// Observer returns the run's observability attachment (nil when disabled).
+func (s *Simulator) Observer() *obs.Observer { return s.obs }
 
 // NewSimulator builds the machine described by cfg.
 func NewSimulator(cfg Config) (*Simulator, error) {
@@ -80,6 +85,9 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg}
+	if cfg.Observe != nil {
+		s.obs = cfg.Observe()
+	}
 
 	geo, err := cfg.Mem.Geometry()
 	if err != nil {
@@ -101,6 +109,7 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		MaxInFlight:      cfg.Mem.MaxInFlight,
 		ThreadAwareFirst: cfg.Mem.ThreadAwareFirst,
 		Trace:            cfg.Mem.Trace,
+		Obs:              s.obs,
 		Threads:          len(cfg.Apps),
 	})
 	if err != nil {
@@ -155,6 +164,17 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}
 	s.cpu.SetTarget(cfg.WarmupInstr, cfg.TargetInstr)
 	s.cpu.SetMemPressure(s.ctrl.Outstanding)
+	if s.obs != nil && s.obs.Reg != nil {
+		reg := s.obs.Reg
+		for _, l := range []*cache.Level{s.l1i, s.l1d, s.l2, s.l3} {
+			l.RegisterMetrics(reg)
+		}
+		s.cpu.RegisterMetrics(reg)
+		reg.Gauge("event.fired", func(uint64) float64 { return float64(s.q.Fired()) })
+		reg.Gauge("event.past_schedules", func(uint64) float64 { return float64(s.q.PastSchedules()) })
+		reg.Gauge("event.max_pending", func(uint64) float64 { return float64(s.q.MaxLen()) })
+		reg.Sampled("event.pending", func(uint64) float64 { return float64(s.q.Len()) })
+	}
 	return s, nil
 }
 
@@ -196,6 +216,9 @@ func (s *Simulator) Run() (Result, error) {
 	for now = 1; now <= limit; now++ {
 		s.q.RunUntil(now)
 		s.cpu.Tick(now)
+		if s.obs != nil {
+			s.obs.OnCycle(now, s.q.Fired())
+		}
 		if !sn.taken && s.cpu.AllWarmed() {
 			s.ctrl.FinishStats(now)
 			sn = s.takeSnapshot(now)
@@ -214,6 +237,9 @@ func (s *Simulator) Run() (Result, error) {
 		}
 	}
 	s.ctrl.FinishStats(now)
+	if s.obs != nil {
+		s.obs.Finish(now)
+	}
 	return s.collect(now, sn)
 }
 

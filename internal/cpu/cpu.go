@@ -16,6 +16,7 @@ import (
 	"smtdram/internal/cache"
 	"smtdram/internal/event"
 	"smtdram/internal/mem"
+	"smtdram/internal/obs"
 	"smtdram/internal/workload"
 )
 
@@ -153,6 +154,7 @@ type thread struct {
 	loads    uint64
 	stores   uint64
 	imisses  uint64
+	gated    uint64 // dispatch cycles blocked by the fetch policy's gate
 }
 
 func (t *thread) robCount() int { return int(t.nextSeq - t.headSeq) }
@@ -291,6 +293,32 @@ func (c *CPU) LoadsStores(i int) (loads, stores uint64) {
 // IMisses returns thread i's instruction-cache miss count.
 func (c *CPU) IMisses(i int) uint64 { return c.threads[i].imisses }
 
+// GatedDispatches returns how many times thread i's dispatch was cut short by
+// the fetch policy's resource gate (see dispatchGated).
+func (c *CPU) GatedDispatches(i int) uint64 { return c.threads[i].gated }
+
+// RegisterMetrics exposes core occupancies and counters through the metrics
+// registry. Safe on a nil registry.
+func (c *CPU) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("cpu.committed", func(uint64) float64 { return float64(c.TotalCommitted) })
+	reg.Sampled("cpu.iq_int_used", func(uint64) float64 { return float64(c.intIQUsed) })
+	reg.Sampled("cpu.iq_fp_used", func(uint64) float64 { return float64(c.fpIQUsed) })
+	for i, t := range c.threads {
+		t := t
+		reg.Sampled(fmt.Sprintf("cpu.inflight_loads.t%d", i),
+			func(uint64) float64 { return float64(len(t.inFlight)) })
+		reg.Sampled(fmt.Sprintf("cpu.rob.t%d", i),
+			func(uint64) float64 { return float64(t.robCount()) })
+		reg.Gauge(fmt.Sprintf("cpu.gated_dispatch.t%d", i),
+			func(uint64) float64 { return float64(t.gated) })
+		reg.Gauge(fmt.Sprintf("cpu.committed.t%d", i),
+			func(uint64) float64 { return float64(t.committed) })
+	}
+}
+
 // SetMemPressure wires the memory controller's live per-thread pending
 // request counts into the Coop fetch policy.
 func (c *CPU) SetMemPressure(f func(thread int) int) { c.memPressure = f }
@@ -419,6 +447,7 @@ func (c *CPU) dispatch(now uint64) {
 				break
 			}
 			if c.dispatchGated(now, t) {
+				t.gated++
 				break
 			}
 			if !c.dispatchOne(t) {

@@ -231,6 +231,24 @@ func (c *Channel) BankReadyAt(chip, b int) uint64 { return c.bankAt(chip, b).rea
 // BusFreeAt returns the cycle the data bus becomes free.
 func (c *Channel) BusFreeAt() uint64 { return c.busFreeAt }
 
+// AccessDetail is the full timing breakdown of one committed access — the
+// raw material for request-lifecycle tracing. The bank operates over
+// [Start, Start+prep) (precharge, then activate, then column access, as the
+// Outcome requires); the data bus is occupied over [DataStart, Done).
+type AccessDetail struct {
+	// Start is the cycle the bank begins preparing (max of the request time
+	// and the bank's ready time).
+	Start uint64
+	// DataStart is the cycle the data transfer claims the bus.
+	DataStart uint64
+	// Done is the cycle the last data beat transfers.
+	Done uint64
+	// Outcome is the row-buffer outcome.
+	Outcome Outcome
+	// Turnaround is set when a bus direction-switch gap was inserted.
+	Turnaround bool
+}
+
 // Access performs a full line access to (chip, bank, row) starting no
 // earlier than now, committing bank and bus state. It returns the cycle at
 // which the last data beat transfers and the row-buffer outcome.
@@ -241,6 +259,12 @@ func (c *Channel) BusFreeAt() uint64 { return c.busFreeAt }
 // preparation therefore overlaps other banks' transfers, which is how
 // open-page multi-bank pipelining earns its keep.
 func (c *Channel) Access(now uint64, chip, b int, row uint64, isRead bool) (done uint64, out Outcome) {
+	d := c.AccessFull(now, chip, b, row, isRead)
+	return d.Done, d.Outcome
+}
+
+// AccessFull is Access returning the full timing breakdown.
+func (c *Channel) AccessFull(now uint64, chip, b int, row uint64, isRead bool) AccessDetail {
 	c.applyRefresh(now)
 	bk := c.bankAt(chip, b)
 	start := now
@@ -248,7 +272,7 @@ func (c *Channel) Access(now uint64, chip, b int, row uint64, isRead bool) (done
 		start = bk.readyAt
 	}
 
-	out = c.Classify(chip, b, row)
+	out := c.Classify(chip, b, row)
 	var prep uint64
 	switch out {
 	case Hit:
@@ -267,17 +291,19 @@ func (c *Channel) Access(now uint64, chip, b int, row uint64, isRead bool) (done
 		c.Stats.Writes++
 	}
 
+	d := AccessDetail{Start: start, Outcome: out}
 	dataStart := start + prep
 	busFree := c.busFreeAt
 	if c.p.Turnaround > 0 && c.Stats.Reads+c.Stats.Writes > 1 && c.lastWasWrite == isRead {
 		// Direction switch: the bus needs a turnaround gap.
 		busFree += c.p.Turnaround
 		c.Stats.Turnarounds++
+		d.Turnaround = true
 	}
 	if busFree > dataStart {
 		dataStart = busFree
 	}
-	done = dataStart + c.p.Burst
+	done := dataStart + c.p.Burst
 	c.lastWasWrite = !isRead
 	c.busFreeAt = done
 	c.Stats.BusBusy += c.p.Burst
@@ -289,7 +315,9 @@ func (c *Channel) Access(now uint64, chip, b int, row uint64, isRead bool) (done
 		bk.openRow = -1
 		bk.readyAt = done + c.p.TRP
 	}
-	return done, out
+	d.DataStart = dataStart
+	d.Done = done
+	return d
 }
 
 // RowBufferMissRate returns the fraction of accesses that were not row

@@ -19,16 +19,42 @@ type item struct {
 type Queue struct {
 	heap []item
 	seq  uint64
+
+	// Drain/hazard counters, maintained unconditionally (a handful of
+	// integer ops per event) and exposed to the observability layer.
+	fired   uint64 // events executed
+	firedAt uint64 // highest cycle any fired event carried
+	past    uint64 // schedules at a cycle the queue had already fired past
+	maxLen  int    // high-water pending-event count
 }
 
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
+// Fired reports the cumulative number of events executed.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// PastSchedules reports how often Schedule was called with a cycle earlier
+// than one the queue had already fired an event at — the documented
+// schedule-in-the-past hazard. Such events still fire (late), but a nonzero
+// count means some component's timing arithmetic went backwards.
+func (q *Queue) PastSchedules() uint64 { return q.past }
+
+// MaxLen reports the high-water pending-event count.
+func (q *Queue) MaxLen() int { return q.maxLen }
+
 // Schedule registers fn to run at cycle at. Scheduling in the past is the
 // caller's bug; the event still fires, at whatever "now" the queue has
-// advanced to, preserving run-to-completion semantics.
+// advanced to, preserving run-to-completion semantics. Occurrences are
+// counted (see PastSchedules).
 func (q *Queue) Schedule(at uint64, fn Func) {
+	if at < q.firedAt {
+		q.past++
+	}
 	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
+	if len(q.heap) > q.maxLen {
+		q.maxLen = len(q.heap)
+	}
 	q.seq++
 	q.up(len(q.heap) - 1)
 }
@@ -47,6 +73,10 @@ func (q *Queue) NextAt() (at uint64, ok bool) {
 func (q *Queue) RunUntil(now uint64) {
 	for len(q.heap) > 0 && q.heap[0].at <= now {
 		it := q.pop()
+		q.fired++
+		if it.at > q.firedAt {
+			q.firedAt = it.at
+		}
 		it.fn(it.at)
 	}
 }

@@ -94,6 +94,52 @@ func TestNextAt(t *testing.T) {
 	}
 }
 
+func TestFiredAndMaxLen(t *testing.T) {
+	var q Queue
+	for i := uint64(1); i <= 5; i++ {
+		q.Schedule(i, func(uint64) {})
+	}
+	if q.MaxLen() != 5 {
+		t.Fatalf("MaxLen = %d, want 5", q.MaxLen())
+	}
+	q.RunUntil(3)
+	if q.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", q.Fired())
+	}
+	q.RunUntil(10)
+	if q.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", q.Fired())
+	}
+	if q.MaxLen() != 5 {
+		t.Fatalf("MaxLen after drain = %d, want 5 (high-water)", q.MaxLen())
+	}
+}
+
+// Regression: scheduling at a cycle the queue has already fired past is the
+// documented hazard; it must be counted, and the event must still fire.
+func TestPastScheduleCounted(t *testing.T) {
+	var q Queue
+	q.Schedule(10, func(uint64) {})
+	q.RunUntil(10)
+	if q.PastSchedules() != 0 {
+		t.Fatalf("PastSchedules = %d before any past schedule", q.PastSchedules())
+	}
+	fired := false
+	q.Schedule(5, func(now uint64) { fired = true })
+	if q.PastSchedules() != 1 {
+		t.Fatalf("PastSchedules = %d, want 1", q.PastSchedules())
+	}
+	q.RunUntil(20)
+	if !fired {
+		t.Fatal("past-scheduled event must still fire")
+	}
+	// Scheduling at exactly the highest fired cycle is not "in the past".
+	q.Schedule(10, func(uint64) {})
+	if q.PastSchedules() != 1 {
+		t.Fatalf("PastSchedules = %d after same-cycle schedule, want 1", q.PastSchedules())
+	}
+}
+
 // Property: for any set of schedule times, events fire in nondecreasing time
 // order and all of them fire.
 func TestPropertyOrdering(t *testing.T) {

@@ -34,6 +34,10 @@ type Options struct {
 	// Baselines caches single-thread IPCs across figures. Keyed by a
 	// config-derived string; safe to share within a process.
 	Baselines map[string]float64
+	// Configure, when non-nil, is applied to every machine configuration the
+	// figures build (including weighted-speedup baseline runs) before it
+	// runs. cmd/experiments uses it to attach the observability layer.
+	Configure func(*core.Config)
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +65,9 @@ func (o Options) baseConfig(apps ...string) core.Config {
 	cfg.WarmupInstr = o.Warmup
 	cfg.TargetInstr = o.Target
 	cfg.Seed = o.Seed
+	if o.Configure != nil {
+		o.Configure(&cfg)
+	}
 	return cfg
 }
 

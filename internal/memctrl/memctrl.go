@@ -13,6 +13,7 @@ import (
 	"smtdram/internal/dram"
 	"smtdram/internal/event"
 	"smtdram/internal/mem"
+	"smtdram/internal/obs"
 )
 
 // Policy selects the access-scheduling scheme.
@@ -108,6 +109,11 @@ type Config struct {
 	// Trace, when non-nil, receives one event per serviced DRAM request —
 	// the raw material for offline scheduling analysis (cmd/tracedump).
 	Trace func(TraceEvent)
+	// Obs, when non-nil, attaches the observability layer: the controller
+	// emits request-lifecycle events into Obs.Trace and registers its
+	// metrics (queue depths, outstanding requests, row-buffer hit rate, bus
+	// utilization) into Obs.Reg. Nil costs the hot path one pointer check.
+	Obs *obs.Observer
 	// Threads is the number of hardware threads (for per-thread stats).
 	Threads int
 }
@@ -213,6 +219,9 @@ type Controller struct {
 	channels []*channelCtl
 	seq      uint64
 
+	// lc receives request-lifecycle events; nil when tracing is disabled.
+	lc obs.Sink
+
 	// live per-thread pending demand-request counts (the request-based
 	// scheme's input; the controller knows these precisely).
 	outstanding []int
@@ -245,7 +254,62 @@ func New(q *event.Queue, cfg Config) (*Controller, error) {
 		}
 		c.channels = append(c.channels, &channelCtl{dev: dev})
 	}
+	if cfg.Obs != nil {
+		if cfg.Obs.Trace != nil {
+			c.lc = cfg.Obs.Trace
+		}
+		c.registerMetrics(cfg.Obs.Reg)
+	}
 	return c, nil
+}
+
+// registerMetrics exposes the controller's live state and counters through
+// the metrics registry. Sampled gauges become cycle-interval time series;
+// plain gauges appear only in the final snapshot.
+func (c *Controller) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, cc := range c.channels {
+		cc := cc
+		reg.Sampled(fmt.Sprintf("memctrl.queue_depth.ch%d", i),
+			func(uint64) float64 { return float64(len(cc.queue)) })
+		reg.Sampled(fmt.Sprintf("memctrl.in_flight.ch%d", i),
+			func(uint64) float64 { return float64(cc.inFlight) })
+		reg.Sampled(fmt.Sprintf("dram.bus_busy_frac.ch%d", i),
+			func(now uint64) float64 {
+				if now == 0 {
+					return 0
+				}
+				return float64(cc.dev.Stats.BusBusy) / float64(now)
+			})
+	}
+	for t := range c.outstanding {
+		t := t
+		reg.Sampled(fmt.Sprintf("memctrl.outstanding.t%d", t),
+			func(uint64) float64 { return float64(c.outstanding[t]) })
+	}
+	reg.Sampled("memctrl.outstanding.total",
+		func(uint64) float64 { return float64(c.totalOut) })
+	reg.Sampled("memctrl.row_hit_rate",
+		func(uint64) float64 { return 1 - c.RowBufferMissRate() })
+	reg.Gauge("memctrl.reads", func(uint64) float64 { return float64(c.Stats.Reads) })
+	reg.Gauge("memctrl.writes", func(uint64) float64 { return float64(c.Stats.Writes) })
+	reg.Gauge("memctrl.rejected", func(uint64) float64 { return float64(c.Stats.Rejected) })
+	reg.Gauge("memctrl.avg_read_latency", func(uint64) float64 { return c.Stats.AvgReadLatency() })
+	reg.Gauge("dram.row_hits", func(uint64) float64 { h, _, _ := c.RowBufferStats(); return float64(h) })
+	reg.Gauge("dram.row_closed", func(uint64) float64 { _, cl, _ := c.RowBufferStats(); return float64(cl) })
+	reg.Gauge("dram.row_conflicts", func(uint64) float64 { _, _, co := c.RowBufferStats(); return float64(co) })
+}
+
+// lcEvent builds the common fields of a lifecycle event for a located
+// request.
+func lcEvent(kind obs.Kind, at, end uint64, r *mem.Request, loc addrmap.Loc) obs.Event {
+	return obs.Event{
+		Kind: kind, At: at, End: end, ReqID: r.ID, Addr: r.Addr,
+		Thread: r.Thread, Channel: loc.Channel, Chip: loc.Chip,
+		Bank: loc.Bank, Row: loc.Row, Read: r.IsRead(),
+	}
 }
 
 // Channels exposes the underlying DRAM channels (for row-buffer stats).
@@ -276,12 +340,20 @@ func (c *Controller) Enqueue(now uint64, r *mem.Request) bool {
 	cc := c.channels[loc.Channel]
 	if len(cc.queue) >= c.cfg.QueueDepth {
 		c.Stats.Rejected++
+		if c.lc != nil {
+			c.lc.Emit(lcEvent(obs.KReject, now, now, r, loc))
+		}
 		return false
 	}
 	r.Arrive = now
 	e := &entry{req: r, loc: loc, seq: c.seq, queuedBehind: len(cc.queue) + cc.inFlight}
 	c.seq++
 	cc.queue = append(cc.queue, e)
+	if c.lc != nil {
+		ev := lcEvent(obs.KEnqueue, now, now, r, loc)
+		ev.Queue = len(cc.queue)
+		c.lc.Emit(ev)
+	}
 
 	if r.IsRead() {
 		c.Stats.Reads++
@@ -350,8 +422,10 @@ func (c *Controller) dispatch(now uint64, cc *channelCtl) {
 		cc.queue = append(cc.queue[:idx], cc.queue[idx+1:]...)
 		cc.inFlight++
 
-		done, out := cc.dev.Access(now, e.loc.Chip, e.loc.Bank, e.loc.Row, e.req.IsRead())
+		d := cc.dev.AccessFull(now, e.loc.Chip, e.loc.Bank, e.loc.Row, e.req.IsRead())
+		done, out := d.Done, d.Outcome
 		req := e.req
+		loc := e.loc
 		if c.cfg.Trace != nil {
 			c.cfg.Trace(TraceEvent{
 				Arrive: req.Arrive, Issue: now, Done: done,
@@ -359,6 +433,9 @@ func (c *Controller) dispatch(now uint64, cc *channelCtl) {
 				Bank: e.loc.Bank, Row: e.loc.Row, Thread: req.Thread,
 				Read: req.IsRead(), Outcome: out, QueuedBehind: e.queuedBehind,
 			})
+		}
+		if c.lc != nil {
+			c.emitServicePhases(now, req, loc, d, cc.dev.Params())
 		}
 		c.q.Schedule(done, func(at uint64) {
 			cc.inFlight--
@@ -370,12 +447,40 @@ func (c *Controller) dispatch(now uint64, cc *channelCtl) {
 				}
 			}
 			c.accountChange(at, req.Thread, -1)
+			if c.lc != nil {
+				c.lc.Emit(lcEvent(obs.KDone, at, at, req, loc))
+			}
 			if req.OnComplete != nil {
 				req.OnComplete(at)
 			}
 			c.dispatch(at, cc)
 		})
 	}
+}
+
+// emitServicePhases translates one committed DRAM access into lifecycle
+// events: the time spent queued, the dispatch decision (annotated with the
+// row-buffer outcome), the bank operations that outcome required — windows
+// derived from the timing parameters, since the device reserves
+// [Start, Start+prep) for them — and the data-bus transfer.
+func (c *Controller) emitServicePhases(now uint64, r *mem.Request, loc addrmap.Loc, d dram.AccessDetail, p dram.Params) {
+	if now > r.Arrive {
+		c.lc.Emit(lcEvent(obs.KQueued, r.Arrive, now, r, loc))
+	}
+	iss := lcEvent(obs.KIssue, now, now, r, loc)
+	iss.Outcome = d.Outcome.String()
+	c.lc.Emit(iss)
+	t := d.Start
+	if d.Outcome == dram.Conflict {
+		c.lc.Emit(lcEvent(obs.KPrecharge, t, t+p.TRP, r, loc))
+		t += p.TRP
+	}
+	if d.Outcome != dram.Hit {
+		c.lc.Emit(lcEvent(obs.KActivate, t, t+p.TRCD, r, loc))
+		t += p.TRCD
+	}
+	c.lc.Emit(lcEvent(obs.KCAS, t, t+p.CL, r, loc))
+	c.lc.Emit(lcEvent(obs.KData, d.DataStart, d.Done, r, loc))
 }
 
 // armRetry schedules a dispatch attempt at the earliest cycle any queued

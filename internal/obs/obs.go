@@ -1,0 +1,179 @@
+// Package obs is the simulator-wide observability layer: a metrics registry
+// of counters, gauges, and histograms with optional cycle-interval sampling
+// into time series; a request-lifecycle tracer that records every memory
+// request's enqueue → schedule → precharge/activate/CAS → data-return
+// transitions as structured events (exportable as JSONL and Chrome
+// trace_event JSON for Perfetto/about:tracing); and profiling hooks for the
+// discrete-event loop.
+//
+// The package is a leaf: it imports nothing from the simulator, so every
+// component (memctrl, dram, cache, cpu, core) can depend on it. All hooks are
+// nil-safe — a disabled Observer, Registry, Counter, Histogram, or Tracer
+// costs the instrumented code exactly one nil check — so observability is
+// free when off and the simulator's determinism is untouched when on.
+package obs
+
+// Kind enumerates request-lifecycle transitions. Instant kinds mark a single
+// cycle (At == End); phase kinds span [At, End).
+type Kind uint8
+
+const (
+	// KEnqueue: the request entered a controller channel queue (instant).
+	KEnqueue Kind = iota
+	// KReject: the request bounced off a full channel queue (instant). A
+	// rejected request is retried by the issuer and re-traced on acceptance.
+	KReject
+	// KQueued: the queueing phase, enqueue → dispatch (phase).
+	KQueued
+	// KIssue: the scheduler dispatched the request to its bank (instant).
+	KIssue
+	// KPrecharge: the bank precharged a conflicting open row (phase).
+	KPrecharge
+	// KActivate: the row access / activation (phase).
+	KActivate
+	// KCAS: the column access (phase).
+	KCAS
+	// KData: the line's data-bus transfer (phase).
+	KData
+	// KDone: the last data beat transferred — terminal (instant).
+	KDone
+	// KCancel: the run ended with the request still in flight — terminal
+	// (instant). Emitted by Tracer.Finish so every traced request reaches a
+	// terminal state.
+	KCancel
+)
+
+var kindNames = [...]string{
+	KEnqueue:   "enqueue",
+	KReject:    "reject",
+	KQueued:    "queued",
+	KIssue:     "issue",
+	KPrecharge: "precharge",
+	KActivate:  "activate",
+	KCAS:       "cas",
+	KData:      "data",
+	KDone:      "done",
+	KCancel:    "cancel",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the kind ends a request's lifecycle.
+func (k Kind) Terminal() bool { return k == KDone || k == KCancel }
+
+// Event is one structured request-lifecycle record.
+type Event struct {
+	// Kind is the transition or phase.
+	Kind Kind
+	// At and End bound the event in cycles; End == At for instants.
+	At, End uint64
+	// ReqID is the simulator-unique request identifier.
+	ReqID uint64
+	// Addr is the physical line address.
+	Addr uint64
+	// Thread is the originating hardware thread (-1 for writebacks).
+	Thread int
+	// Channel, Chip, Bank, Row locate the DRAM access.
+	Channel, Chip, Bank int
+	Row                 uint64
+	// Read distinguishes line fills from writebacks.
+	Read bool
+	// Outcome is the row-buffer outcome ("hit", "closed", "conflict"),
+	// set on KIssue events.
+	Outcome string
+	// Queue is the channel queue length observed on KEnqueue.
+	Queue int
+}
+
+// Sink receives lifecycle events. *Tracer is the standard implementation;
+// tests substitute their own.
+type Sink interface {
+	Emit(Event)
+}
+
+// Options selects which observability subsystems a run enables.
+type Options struct {
+	// Metrics enables the registry (and cycle sampling of Sampled gauges).
+	Metrics bool
+	// MetricsInterval is the sampling period in cycles (default 1000).
+	MetricsInterval uint64
+	// Trace enables the request-lifecycle tracer.
+	Trace bool
+	// Profile enables event-loop profiling.
+	Profile bool
+	// Label tags the run in exported output.
+	Label string
+}
+
+// Observer bundles one run's observability state. Components receive it at
+// construction and register their metrics / hold its Trace sink. A nil
+// *Observer disables everything.
+type Observer struct {
+	// Reg is the metrics registry (nil when metrics are off).
+	Reg *Registry
+	// Trace is the lifecycle tracer (nil when tracing is off).
+	Trace *Tracer
+	// Prof is the event-loop profiler (nil when profiling is off).
+	Prof *LoopProf
+	// Label tags the run in exported output.
+	Label string
+	// FinalCycle is the cycle the run finished at (set by Finish).
+	FinalCycle uint64
+	// OnFinish, when non-nil, runs after Finish — the hook multi-run
+	// harnesses use to flush per-run output.
+	OnFinish func(*Observer)
+}
+
+// New builds an Observer, or returns nil when every subsystem is off, so
+// callers can pass the result straight into a config's Observe hook.
+func New(o Options) *Observer {
+	if !o.Metrics && !o.Trace && !o.Profile {
+		return nil
+	}
+	ob := &Observer{Label: o.Label}
+	if o.Metrics {
+		iv := o.MetricsInterval
+		if iv == 0 {
+			iv = 1000
+		}
+		ob.Reg = NewRegistry(iv)
+	}
+	if o.Trace {
+		ob.Trace = NewTracer()
+	}
+	if o.Profile {
+		ob.Prof = NewLoopProf(ob.Reg)
+	}
+	return ob
+}
+
+// OnCycle is the per-cycle hook the run loop calls after draining the event
+// queue: fired is the cumulative event count from the queue.
+func (ob *Observer) OnCycle(now, fired uint64) {
+	if ob.Prof != nil {
+		ob.Prof.cycle(now, fired)
+	}
+	if ob.Reg != nil {
+		ob.Reg.MaybeSample(now)
+	}
+}
+
+// Finish closes the run at its final cycle: open traced requests are
+// cancelled, profiling totals close, and OnFinish (if any) fires.
+func (ob *Observer) Finish(now uint64) {
+	ob.FinalCycle = now
+	if ob.Trace != nil {
+		ob.Trace.Finish(now)
+	}
+	if ob.Prof != nil {
+		ob.Prof.finish(now)
+	}
+	if ob.OnFinish != nil {
+		ob.OnFinish(ob)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
 	"smtdram/internal/memctrl"
+	"smtdram/internal/obs"
 	"smtdram/internal/stats"
 	"smtdram/internal/workload"
 )
@@ -163,3 +164,31 @@ func RecordTrace(app App, threadID int, seed int64, n uint64, w io.Writer) error
 
 // NewReplay decodes a recorded instruction trace.
 func NewReplay(r io.Reader) (*Replay, error) { return workload.NewReplay(r) }
+
+// Observability layer (see internal/obs and the README's Observability
+// section): attach an Observer via Config.Observe to record cycle-sampled
+// metrics, a request-lifecycle trace (exportable as JSONL or Chrome
+// trace_event JSON for Perfetto), and event-loop profiling.
+type (
+	// Observer bundles one run's observability state.
+	Observer = obs.Observer
+	// ObsOptions selects which observability subsystems a run enables.
+	ObsOptions = obs.Options
+	// MetricsRegistry holds a run's metrics and sampled time series.
+	MetricsRegistry = obs.Registry
+	// LifecycleTracer records request-lifecycle events.
+	LifecycleTracer = obs.Tracer
+	// LifecycleEvent is one structured request-lifecycle record.
+	LifecycleEvent = obs.Event
+	// LifecycleFilter selects a subset of a lifecycle trace.
+	LifecycleFilter = obs.Filter
+)
+
+// NewObserver builds an Observer, or nil when every subsystem is off. Typical
+// use:
+//
+//	ob := smtdram.NewObserver(smtdram.ObsOptions{Trace: true, Metrics: true})
+//	cfg.Observe = func() *smtdram.Observer { return ob }
+//	res, _ := smtdram.Run(cfg)
+//	ob.Trace.WriteChrome(f) // open f in ui.perfetto.dev
+func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
