@@ -12,6 +12,8 @@ package smtdram
 // cmd/experiments prints the full tables at publication sizes.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"smtdram/internal/core"
@@ -52,6 +54,27 @@ func BenchmarkTable2Machine(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
+}
+
+// BenchmarkParallelFigures measures the parallel experiment scheduler on a
+// figure-sized sweep (Figure 6: 9 mixes × 3 channel counts plus the shared
+// alone-IPC baselines). The jobs=1 case is the sequential path (the pool runs
+// each future lazily inline); jobs=GOMAXPROCS fans the independent runs out
+// across workers. Output is byte-identical either way — the speedup is pure
+// wall clock, so on a single-core host the two cases coincide.
+func BenchmarkParallelFigures(b *testing.B) {
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOpts()
+				o.Warmup, o.Target = 10_000, 10_000
+				o.Jobs = jobs
+				if _, err := figures.Fig6(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkObsDisabled is the nil-sink baseline for BenchmarkObsEnabled:

@@ -2,9 +2,10 @@
 //
 // Usage:
 //
-//	experiments -fig all                 # everything (slow)
+//	experiments -fig all                 # everything, one worker per core
 //	experiments -fig 10                  # one figure
 //	experiments -fig 2 -target 200000    # longer measurement window
+//	experiments -fig all -jobs 1         # sequential (same output, slower)
 //
 // Valid -fig values: table2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, all.
 package main
@@ -13,7 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"smtdram/internal/core"
@@ -29,6 +33,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 100_000, "per-thread warmup instructions")
 		target  = flag.Uint64("target", 100_000, "per-thread measured instructions")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; output is identical for any value)")
 		verbose = flag.Bool("v", false, "print per-run progress")
 
 		traceDir   = flag.String("trace", "", "write one Chrome trace_event JSON per simulation run into this directory")
@@ -47,6 +52,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -jobs must be at least 1")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *target == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -target must be at least 1 instruction")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {
@@ -56,7 +71,7 @@ func main() {
 	figures.Render = f
 
 	opts := figures.Options{Warmup: *warmup, Target: *target, Seed: *seed,
-		Baselines: map[string]float64{}}
+		Jobs: *jobs, Baselines: map[string]float64{}}
 	if *verbose {
 		opts.Out = os.Stderr
 	}
@@ -76,7 +91,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  [%s in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+		// Wall-clock timing is diagnostic and varies with -jobs; keep it on
+		// stderr so stdout stays byte-identical at any job count.
+		fmt.Fprintf(os.Stderr, "  [%s in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
 	}
 
 	run("table2", func() error { figures.PrintTable2(os.Stdout); return nil })
@@ -172,6 +189,11 @@ func main() {
 // run finishes: one Chrome trace file per run under traceDir, and all runs'
 // metrics appended to metricsPath (each run introduced by its meta record).
 // Returns nil when neither output is requested.
+//
+// With -jobs > 1 the Observe/OnFinish hooks fire on worker goroutines, so the
+// run counter is atomic and the shared metrics file is written under a mutex
+// (each run's records stay contiguous; run numbering follows start order,
+// which is only deterministic at -jobs 1).
 func observeConfigurer(traceDir, metricsPath string, interval uint64) func(*core.Config) {
 	if traceDir == "" && metricsPath == "" {
 		return nil
@@ -182,6 +204,7 @@ func observeConfigurer(traceDir, metricsPath string, interval uint64) func(*core
 			os.Exit(1)
 		}
 	}
+	var metricsMu sync.Mutex
 	var metricsFile *os.File
 	if metricsPath != "" {
 		f, err := os.Create(metricsPath)
@@ -191,12 +214,11 @@ func observeConfigurer(traceDir, metricsPath string, interval uint64) func(*core
 		}
 		metricsFile = f
 	}
-	runN := 0
+	var runN atomic.Int64
 	return func(cfg *core.Config) {
 		apps := strings.Join(cfg.Apps, "+")
 		cfg.Observe = func() *obs.Observer {
-			runN++
-			label := fmt.Sprintf("run%04d-%s", runN, apps)
+			label := fmt.Sprintf("run%04d-%s", runN.Add(1), apps)
 			ob := obs.New(obs.Options{
 				Metrics:         metricsFile != nil,
 				MetricsInterval: interval,
@@ -221,7 +243,10 @@ func observeConfigurer(traceDir, metricsPath string, interval uint64) func(*core
 					}
 				}
 				if ob.Reg != nil && metricsFile != nil {
-					if err := ob.Reg.WriteJSONL(metricsFile, ob.Label, ob.FinalCycle); err != nil {
+					metricsMu.Lock()
+					err := ob.Reg.WriteJSONL(metricsFile, ob.Label, ob.FinalCycle)
+					metricsMu.Unlock()
+					if err != nil {
 						fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
 					}
 				}

@@ -7,6 +7,7 @@
 //	smtdram -mix 4-MEM
 //	smtdram -apps mcf,ammp -channels 8 -gang 2 -policy request-based
 //	smtdram -apps swim -dram rdram -scheme page -pagemode close
+//	smtdram -mix 4-MEM -breakdown      # + per-app CPI attribution, parallel
 //	smtdram -dump-config
 package main
 
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"smtdram/internal/addrmap"
@@ -22,6 +24,7 @@ import (
 	"smtdram/internal/dram"
 	"smtdram/internal/memctrl"
 	"smtdram/internal/obs"
+	"smtdram/internal/runner"
 	"smtdram/internal/stats"
 	"smtdram/internal/workload"
 )
@@ -40,6 +43,8 @@ func main() {
 		warmup   = flag.Uint64("warmup", 100_000, "per-thread warmup instructions")
 		target   = flag.Uint64("target", 200_000, "per-thread measured instructions")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (used by -breakdown; 1 = sequential)")
+		brkdown  = flag.Bool("breakdown", false, "also attribute each app's CPI (proc/L2/L3/mem) on this machine via the paper's four-run method")
 		dump     = flag.Bool("dump-config", false, "print the Table 1 configuration and exit")
 
 		traceOut   = flag.String("trace", "", "write a request-lifecycle trace to this file (.jsonl = JSON lines, anything else = Chrome trace_event JSON for Perfetto)")
@@ -54,6 +59,12 @@ func main() {
 	}
 	if *metricsOut != "" && *metricsInt == 0 {
 		usageErr("-metrics-interval must be at least 1 cycle")
+	}
+	if *jobs < 1 {
+		usageErr("-jobs must be at least 1")
+	}
+	if *target == 0 {
+		usageErr("-target must be at least 1 instruction")
 	}
 
 	if *dump {
@@ -107,9 +118,43 @@ func main() {
 		cfg.Observe = func() *obs.Observer { return observer }
 	}
 
-	res, err := core.Run(cfg)
+	// The main run and the optional breakdown runs are independent, so they
+	// all fan out on the pool; results are collected in submission order.
+	pool := runner.New(*jobs)
+	runFut := runner.Submit(pool, func() (core.Result, error) { return core.Run(cfg) })
+	var bdJobs [][4]*runner.Future[float64]
+	if *brkdown {
+		bdJobs = make([][4]*runner.Future[float64], len(names))
+		for i, app := range names {
+			for k, c := range core.CPIBreakdownConfigs(cfg, app) {
+				c.Observe = nil // the observer belongs to the main run only
+				bdJobs[i][k] = runner.Submit(pool, func() (float64, error) {
+					r, err := core.Run(c)
+					if err != nil {
+						return 0, err
+					}
+					return 1 / r.IPC[0], nil
+				})
+			}
+		}
+	}
+	res, err := runFut.Wait()
 	fatalIf(err)
 	report(cfg, res)
+	if *brkdown {
+		fmt.Printf("CPI attribution (four-run method, each app alone on this machine):\n")
+		fmt.Printf("%-3s %-9s %10s %10s %10s %10s %10s\n", "t", "app", "CPIproc", "CPIL2", "CPIL3", "CPImem", "total")
+		for i, app := range names {
+			var cpi [4]float64
+			for k := range bdJobs[i] {
+				cpi[k], err = bdJobs[i][k].Wait()
+				fatalIf(err)
+			}
+			b := stats.NewBreakdown(cpi[0], cpi[1], cpi[2], cpi[3])
+			fmt.Printf("%-3d %-9s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				i, app, b.Proc, b.L2, b.L3, b.Mem, b.Total())
+		}
+	}
 	fatalIf(writeObservability(observer, *traceOut, *metricsOut))
 }
 

@@ -20,9 +20,46 @@ type MemBackend struct {
 	// pendingCap bounds the retry buffer; beyond it, backpressure is
 	// propagated to the caller.
 	pendingCap int
+
+	// freeReqs recycles request wrappers; the controller hands a request
+	// back (OnComplete) strictly after its last read of it, so a completed
+	// request can be reissued immediately.
+	freeReqs []*pooledReq
 }
 
 var _ Backend = (*MemBackend)(nil)
+var _ event.Handler = (*MemBackend)(nil)
+
+// pooledReq is a recyclable mem.Request. Its OnComplete is bound once, to
+// complete below, which returns the wrapper to the backend's free list and
+// then runs the caller's fill callback — so per-access traffic reuses both
+// the request struct and its completion closure.
+type pooledReq struct {
+	b    *MemBackend
+	req  mem.Request
+	done func(at uint64) // caller's callback for this use; nil for writes
+}
+
+func (p *pooledReq) complete(at uint64) {
+	done := p.done
+	p.done = nil
+	p.b.freeReqs = append(p.b.freeReqs, p)
+	if done != nil {
+		done(at)
+	}
+}
+
+func (b *MemBackend) getReq() *pooledReq {
+	if n := len(b.freeReqs); n > 0 {
+		p := b.freeReqs[n-1]
+		b.freeReqs[n-1] = nil
+		b.freeReqs = b.freeReqs[:n-1]
+		return p
+	}
+	p := &pooledReq{b: b}
+	p.req.OnComplete = p.complete
+	return p
+}
 
 // NewMemBackend wraps ctrl as a cache Backend.
 func NewMemBackend(q *event.Queue, ctrl mem.Controller) *MemBackend {
@@ -31,28 +68,28 @@ func NewMemBackend(q *event.Queue, ctrl mem.Controller) *MemBackend {
 
 // ReadLine implements Backend.
 func (b *MemBackend) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
-	r := &mem.Request{
-		ID:         b.id(),
-		Addr:       addr,
-		Kind:       mem.Read,
-		Thread:     meta.Thread,
-		Critical:   meta.Critical,
-		State:      meta.State,
-		OnComplete: done,
-	}
-	return b.submit(now, r)
+	p := b.getReq()
+	p.req.ID = b.id()
+	p.req.Addr = addr
+	p.req.Kind = mem.Read
+	p.req.Thread = meta.Thread
+	p.req.Critical = meta.Critical
+	p.req.State = meta.State
+	p.done = done
+	return b.submit(now, p)
 }
 
 // WriteLine implements Backend.
 func (b *MemBackend) WriteLine(now uint64, addr uint64, meta Meta) bool {
-	r := &mem.Request{
-		ID:     b.id(),
-		Addr:   addr,
-		Kind:   mem.Write,
-		Thread: meta.Thread,
-		State:  meta.State,
-	}
-	return b.submit(now, r)
+	p := b.getReq()
+	p.req.ID = b.id()
+	p.req.Addr = addr
+	p.req.Kind = mem.Write
+	p.req.Thread = meta.Thread
+	p.req.Critical = false
+	p.req.State = meta.State
+	p.done = nil
+	return b.submit(now, p)
 }
 
 func (b *MemBackend) id() uint64 {
@@ -60,26 +97,37 @@ func (b *MemBackend) id() uint64 {
 	return b.nextID
 }
 
-func (b *MemBackend) submit(now uint64, r *mem.Request) bool {
-	if len(b.pending) > 0 || !b.ctrl.Enqueue(now, r) {
+func (b *MemBackend) submit(now uint64, p *pooledReq) bool {
+	if len(b.pending) > 0 || !b.ctrl.Enqueue(now, &p.req) {
 		if len(b.pending) >= b.pendingCap {
+			p.done = nil
+			b.freeReqs = append(b.freeReqs, p)
 			return false
 		}
-		b.pending = append(b.pending, r)
+		b.pending = append(b.pending, &p.req)
 		if len(b.pending) == 1 {
-			b.q.Schedule(now+retryGap, b.drain)
+			b.q.ScheduleHandler(now+retryGap, b)
 		}
 	}
 	return true
 }
 
-func (b *MemBackend) drain(now uint64) {
-	for len(b.pending) > 0 {
-		if !b.ctrl.Enqueue(now, b.pending[0]) {
-			b.q.Schedule(now+retryGap, b.drain)
-			return
+// OnEvent is the retry-buffer drain timer: it re-offers refused requests to
+// the controller in order, compacting the buffer in place.
+func (b *MemBackend) OnEvent(now uint64) {
+	n := 0
+	for n < len(b.pending) && b.ctrl.Enqueue(now, b.pending[n]) {
+		n++
+	}
+	if n > 0 {
+		m := copy(b.pending, b.pending[n:])
+		for i := m; i < len(b.pending); i++ {
+			b.pending[i] = nil
 		}
-		b.pending = b.pending[1:]
+		b.pending = b.pending[:m]
+	}
+	if len(b.pending) > 0 {
+		b.q.ScheduleHandler(now+retryGap, b)
 	}
 }
 

@@ -87,11 +87,44 @@ type line struct {
 	used       uint64 // LRU stamp
 }
 
+// mshr tracks one outstanding miss. MSHRs are recycled through the level's
+// free list; each doubles as its own issue/retry event (event.Handler) and
+// carries a fill callback bound once at creation, so the steady-state miss
+// path allocates neither closures nor tracker structs.
 type mshr struct {
 	addr    uint64
 	waiters []func(at uint64)
 	dirty   bool // a store merged into this miss; mark line dirty on fill
 	issued  bool // handed to the lower level (vs still retrying)
+
+	l      *Level
+	meta   Meta            // processor context of the allocating access
+	fillFn func(at uint64) // bound once to fill
+}
+
+// OnEvent is the issue (and issue-retry) event: hand the fill request to the
+// lower level, backing off while it is saturated.
+func (m *mshr) OnEvent(now uint64) {
+	if m.l.lower.ReadLine(now, m.addr, m.meta, m.fillFn) {
+		m.issued = true
+		return
+	}
+	m.l.q.ScheduleHandler(now+retryGap, m)
+}
+
+// fill installs the returned line, releases the MSHR, and wakes all waiters.
+func (m *mshr) fill(now uint64) {
+	l := m.l
+	l.install(now, m.addr, m.dirty, m.meta)
+	delete(l.mshrs, m.addr)
+	if l.MissEnd != nil {
+		l.MissEnd(m.meta)
+	}
+	for _, w := range m.waiters {
+		w(now)
+	}
+	l.releaseMSHR(m)
+	l.drainWB(now)
 }
 
 // Stats counts per-level activity.
@@ -124,6 +157,10 @@ type Level struct {
 	// pendingWB holds dirty victims the lower level refused; retried on a
 	// timer so eviction never blocks the fill path.
 	pendingWB []wbEntry
+	wbretry   wbRetry // pre-bound writeback retry event
+
+	// freeMSHRs recycles miss trackers and their bound fill callbacks.
+	freeMSHRs []*mshr
 
 	// MissBegin/MissEnd, when set, fire when a demand miss allocates an
 	// MSHR and when its fill returns. The CPU uses these to track per-thread
@@ -145,6 +182,12 @@ type wbEntry struct {
 	meta Meta
 }
 
+// wbRetry is the writeback-drain timer; one lives in each Level so arming a
+// retry never allocates.
+type wbRetry struct{ l *Level }
+
+func (w *wbRetry) OnEvent(now uint64) { w.l.drainWB(now) }
+
 var _ Backend = (*Level)(nil)
 
 // New builds a cache level on top of lower.
@@ -160,6 +203,7 @@ func New(q *event.Queue, cfg Config, lower Backend) (*Level, error) {
 		mshrs:     make(map[uint64]*mshr),
 		pfPending: make(map[uint64]struct{}),
 	}
+	l.wbretry = wbRetry{l: l}
 	if !cfg.Perfect {
 		l.nsets = uint64(cfg.SizeBytes / cfg.LineBytes / cfg.Assoc)
 		l.sets = make([][]line, l.nsets)
@@ -291,7 +335,8 @@ func (l *Level) miss(now uint64, la uint64, meta Meta, done func(at uint64), dir
 		l.Stats.MSHRFull++
 		return false
 	}
-	m := &mshr{addr: la, dirty: dirty}
+	m := l.getMSHR()
+	m.addr, m.dirty, m.meta = la, dirty, meta
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
@@ -299,39 +344,35 @@ func (l *Level) miss(now uint64, la uint64, meta Meta, done func(at uint64), dir
 	if l.MissBegin != nil {
 		l.MissBegin(meta)
 	}
-	l.issue(now+l.cfg.Latency, m, meta)
+	l.q.ScheduleHandler(now+l.cfg.Latency, m)
 	l.maybePrefetch(now, la, meta)
 	return true
+}
+
+func (l *Level) getMSHR() *mshr {
+	if n := len(l.freeMSHRs); n > 0 {
+		m := l.freeMSHRs[n-1]
+		l.freeMSHRs[n-1] = nil
+		l.freeMSHRs = l.freeMSHRs[:n-1]
+		return m
+	}
+	m := &mshr{l: l}
+	m.fillFn = m.fill
+	return m
+}
+
+func (l *Level) releaseMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = nil
+	}
+	m.waiters = m.waiters[:0]
+	m.dirty, m.issued = false, false
+	l.freeMSHRs = append(l.freeMSHRs, m)
 }
 
 // retryGap is how long a component waits before re-attempting a transfer a
 // lower level refused. A handful of cycles: short against DRAM latencies.
 const retryGap = 8
-
-// issue hands the fill request to the lower level, retrying while it is
-// saturated.
-func (l *Level) issue(at uint64, m *mshr, meta Meta) {
-	l.q.Schedule(at, func(now uint64) {
-		if l.lower.ReadLine(now, m.addr, meta, func(fillAt uint64) { l.fill(fillAt, m, meta) }) {
-			m.issued = true
-			return
-		}
-		l.issue(now+retryGap, m, meta)
-	})
-}
-
-// fill installs the returned line, releases the MSHR, and wakes all waiters.
-func (l *Level) fill(now uint64, m *mshr, meta Meta) {
-	l.install(now, m.addr, m.dirty, meta)
-	delete(l.mshrs, m.addr)
-	if l.MissEnd != nil {
-		l.MissEnd(meta)
-	}
-	for _, w := range m.waiters {
-		w(now)
-	}
-	l.drainWB(now)
-}
 
 // install places la in its set, evicting the LRU way; dirty victims are
 // written back down.
@@ -374,17 +415,20 @@ func (l *Level) writeback(now uint64, addr uint64) {
 }
 
 func (l *Level) scheduleWBRetry(at uint64) {
-	l.q.Schedule(at, func(now uint64) { l.drainWB(now) })
+	l.q.ScheduleHandler(at, &l.wbretry)
 }
 
 func (l *Level) drainWB(now uint64) {
-	for len(l.pendingWB) > 0 {
-		e := l.pendingWB[0]
-		if !l.lower.WriteLine(now, e.addr, e.meta) {
-			l.scheduleWBRetry(now + retryGap)
-			return
-		}
-		l.pendingWB = l.pendingWB[1:]
+	n := 0
+	for n < len(l.pendingWB) && l.lower.WriteLine(now, l.pendingWB[n].addr, l.pendingWB[n].meta) {
+		n++
+	}
+	if n > 0 {
+		m := copy(l.pendingWB, l.pendingWB[n:])
+		l.pendingWB = l.pendingWB[:m]
+	}
+	if len(l.pendingWB) > 0 {
+		l.scheduleWBRetry(now + retryGap)
 	}
 }
 

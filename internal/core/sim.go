@@ -373,35 +373,29 @@ func WeightedSpeedup(cfg Config, baselineCache map[string]float64) (float64, Res
 	return ws, res, nil
 }
 
-// CPIBreakdown runs the paper's four-configuration CPI attribution for a
-// single application (Section 4.2): realistic, perfect L3, perfect L2,
-// perfect L1.
-func CPIBreakdown(cfg Config, app string) (stats.Breakdown, error) {
+// CPIBreakdownConfigs returns the four machine configurations behind the
+// paper's CPI attribution for a single application (Section 4.2), in
+// attribution order: realistic, perfect L3, perfect L2, perfect L1. The four
+// runs are independent, so callers may execute them concurrently and feed the
+// CPIs to stats.NewBreakdown in the same order.
+func CPIBreakdownConfigs(cfg Config, app string) [4]Config {
 	cfg.Apps = []string{app}
-	cpiOf := func(mut func(*Config)) (float64, error) {
-		c := cfg
-		mut(&c)
+	cfgs := [4]Config{cfg, cfg, cfg, cfg}
+	cfgs[1].PerfectL3 = true
+	cfgs[2].PerfectL2 = true
+	cfgs[3].PerfectL1 = true
+	return cfgs
+}
+
+// CPIBreakdown runs the four-configuration attribution sequentially.
+func CPIBreakdown(cfg Config, app string) (stats.Breakdown, error) {
+	var cpi [4]float64
+	for i, c := range CPIBreakdownConfigs(cfg, app) {
 		res, err := Run(c)
 		if err != nil {
-			return 0, err
+			return stats.Breakdown{}, err
 		}
-		return 1 / res.IPC[0], nil
+		cpi[i] = 1 / res.IPC[0]
 	}
-	overall, err := cpiOf(func(*Config) {})
-	if err != nil {
-		return stats.Breakdown{}, err
-	}
-	pL3, err := cpiOf(func(c *Config) { c.PerfectL3 = true })
-	if err != nil {
-		return stats.Breakdown{}, err
-	}
-	pL2, err := cpiOf(func(c *Config) { c.PerfectL2 = true })
-	if err != nil {
-		return stats.Breakdown{}, err
-	}
-	proc, err := cpiOf(func(c *Config) { c.PerfectL1 = true })
-	if err != nil {
-		return stats.Breakdown{}, err
-	}
-	return stats.NewBreakdown(overall, pL3, pL2, proc), nil
+	return stats.NewBreakdown(cpi[0], cpi[1], cpi[2], cpi[3]), nil
 }

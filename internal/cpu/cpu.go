@@ -125,9 +125,18 @@ type thread struct {
 	id  int
 	gen Source
 
-	peeked    *workload.Instr
+	peeked    workload.Instr // valid only while hasPeeked
+	hasPeeked bool
 	replay    []workload.Instr
+	// replayScratch is the spare buffer resolveBranch builds the next replay
+	// list into; it swaps with replay so squashes stop allocating once the
+	// two buffers have grown.
+	replayScratch []workload.Instr
+	// frontend is a head-indexed deque: live entries are frontend[feHead:],
+	// dispatch pops by advancing feHead, and fePush compacts in place instead
+	// of re-slicing away the buffer's capacity.
 	frontend  []feEntry
+	feHead    int
 	rob       []uop
 	headSeq   uint64
 	nextSeq   uint64
@@ -183,30 +192,140 @@ func (t *thread) oldestLoadAge(now uint64) uint64 {
 	return 0
 }
 
-// next peeks the next instruction to fetch without consuming it.
+// next peeks the next instruction to fetch without consuming it. The peeked
+// instruction lives in the thread struct by value, so peeking never escapes
+// to the heap.
 func (t *thread) next() *workload.Instr {
-	if t.peeked == nil {
-		var in workload.Instr
+	if !t.hasPeeked {
 		if len(t.replay) > 0 {
-			in = t.replay[0]
+			t.peeked = t.replay[0]
 			t.replay = t.replay[1:]
 		} else {
-			in = t.gen.Next()
+			t.peeked = t.gen.Next()
 		}
-		t.peeked = &in
+		t.hasPeeked = true
 	}
-	return t.peeked
+	return &t.peeked
 }
 
 func (t *thread) consume() workload.Instr {
-	in := *t.peeked
-	t.peeked = nil
-	return in
+	t.hasPeeked = false
+	return t.peeked
+}
+
+// feLen is the live frontend-buffer depth.
+func (t *thread) feLen() int { return len(t.frontend) - t.feHead }
+
+// fePush appends to the frontend deque, reclaiming popped-off head space
+// rather than growing the buffer.
+func (t *thread) fePush(e feEntry) {
+	if t.feHead > 0 {
+		if t.feHead == len(t.frontend) {
+			t.frontend = t.frontend[:0]
+			t.feHead = 0
+		} else if len(t.frontend) == cap(t.frontend) {
+			n := copy(t.frontend, t.frontend[t.feHead:])
+			t.frontend = t.frontend[:n]
+			t.feHead = 0
+		}
+	}
+	t.frontend = append(t.frontend, e)
 }
 
 type pendingStore struct {
 	addr uint64
 	meta cache.Meta
+}
+
+// loadFill is the recyclable completion callback of an in-flight load: fn is
+// bound once to done and handed to the L1D as the fill callback. The cache
+// either retains an accepted fill callback until it fires exactly once, or —
+// when ReadLine returns false — drops it immediately, so the carrier can be
+// released at exactly those two points.
+type loadFill struct {
+	c          *CPU
+	t          *thread
+	seq, epoch uint64
+	fn         func(at uint64)
+}
+
+func (f *loadFill) done(at uint64) {
+	c, t, seq, epoch := f.c, f.t, f.seq, f.epoch
+	f.t = nil
+	c.freeLoadFills = append(c.freeLoadFills, f)
+	v := &t.rob[seq%uint64(len(t.rob))]
+	if v.seq == seq && v.epoch == epoch && v.state == stIssued {
+		v.doneAt = at
+	}
+}
+
+func (c *CPU) getLoadFill() *loadFill {
+	if n := len(c.freeLoadFills); n > 0 {
+		f := c.freeLoadFills[n-1]
+		c.freeLoadFills[n-1] = nil
+		c.freeLoadFills = c.freeLoadFills[:n-1]
+		return f
+	}
+	f := &loadFill{c: c}
+	f.fn = f.done
+	return f
+}
+
+// ifill is the recyclable I-cache fill callback (same lifecycle as loadFill:
+// retained only by an accepted miss, fires exactly once).
+type ifill struct {
+	c     *CPU
+	t     *thread
+	line  uint64
+	epoch uint64
+	fn    func(at uint64)
+}
+
+func (f *ifill) done(uint64) {
+	c, t, line, epoch := f.c, f.t, f.line, f.epoch
+	f.t = nil
+	c.freeIFills = append(c.freeIFills, f)
+	if t.epoch == epoch {
+		t.imissPending = false
+		t.curILine = line
+	}
+}
+
+func (c *CPU) getIFill() *ifill {
+	if n := len(c.freeIFills); n > 0 {
+		f := c.freeIFills[n-1]
+		c.freeIFills[n-1] = nil
+		c.freeIFills = c.freeIFills[:n-1]
+		return f
+	}
+	f := &ifill{c: c}
+	f.fn = f.done
+	return f
+}
+
+// brEvent is the recyclable branch-resolution event (event.Handler); a
+// scheduled event fires exactly once, so it releases itself on fire.
+type brEvent struct {
+	c          *CPU
+	t          *thread
+	seq, epoch uint64
+}
+
+func (e *brEvent) OnEvent(at uint64) {
+	c, t, seq, epoch := e.c, e.t, e.seq, e.epoch
+	e.t = nil
+	c.freeBrEvents = append(c.freeBrEvents, e)
+	c.resolveBranch(at, t, seq, epoch)
+}
+
+func (c *CPU) getBrEvent() *brEvent {
+	if n := len(c.freeBrEvents); n > 0 {
+		e := c.freeBrEvents[n-1]
+		c.freeBrEvents[n-1] = nil
+		c.freeBrEvents = c.freeBrEvents[:n-1]
+		return e
+	}
+	return &brEvent{c: c}
 }
 
 // CPU is the simulated SMT processor.
@@ -225,9 +344,21 @@ type CPU struct {
 	intIQUsed, fpIQUsed int
 	lqUsed, sqUsed      int
 
+	// pendingStores is a head-indexed deque (live entries psHead:), drained
+	// in place so the committed-store buffer never reallocates in steady
+	// state.
 	pendingStores []pendingStore
+	psHead        int
 
 	scratchThreads []*thread
+	scratchOrder   []*thread
+
+	// Free lists for the per-event callback carriers; each carries a closure
+	// bound once at creation, so load fills, I-miss fills, and branch
+	// resolutions stop allocating once the pools are warm.
+	freeLoadFills []*loadFill
+	freeIFills    []*ifill
+	freeBrEvents  []*brEvent
 
 	warmup uint64 // per-thread instructions to retire before measurement
 	target uint64 // per-thread committed-instruction goal past warmup (0 = none)
@@ -404,18 +535,18 @@ func (c *CPU) fetch(now uint64) {
 // branch, an I-cache line miss, or a full frontend. It returns the remaining
 // budget.
 func (c *CPU) fetchThread(now uint64, t *thread, budget int) int {
-	for budget > 0 && len(t.frontend) < c.cfg.FrontendCap {
+	for budget > 0 && t.feLen() < c.cfg.FrontendCap {
 		in := t.next()
 		line := in.PC &^ 63
 		if line != t.curILine {
-			hit, accepted := c.l1i.Probe(now, line, c.meta(t, false), func(epoch uint64) func(uint64) {
-				return func(uint64) {
-					if t.epoch == epoch {
-						t.imissPending = false
-						t.curILine = line
-					}
-				}
-			}(t.epoch))
+			f := c.getIFill()
+			f.t, f.line, f.epoch = t, line, t.epoch
+			hit, accepted := c.l1i.Probe(now, line, c.meta(t, false), f.fn)
+			if hit || !accepted {
+				// The cache retains the callback only for an accepted miss.
+				f.t = nil
+				c.freeIFills = append(c.freeIFills, f)
+			}
 			if !hit {
 				if accepted {
 					t.imissPending = true
@@ -426,7 +557,7 @@ func (c *CPU) fetchThread(now uint64, t *thread, budget int) int {
 			t.curILine = line
 		}
 		inst := t.consume()
-		t.frontend = append(t.frontend, feEntry{in: inst, readyAt: now + c.cfg.FrontendDelay})
+		t.fePush(feEntry{in: inst, readyAt: now + c.cfg.FrontendDelay})
 		budget--
 		if inst.Kind == workload.Branch && inst.Taken {
 			break // a taken branch ends the fetch block
@@ -443,7 +574,7 @@ func (c *CPU) dispatch(now uint64) {
 	for i := 0; i < n && budget > 0; i++ {
 		t := c.threads[(i+c.rrDispatch)%n]
 		for budget > 0 {
-			if len(t.frontend) == 0 || t.frontend[0].readyAt > now {
+			if t.feLen() == 0 || t.frontend[t.feHead].readyAt > now {
 				break
 			}
 			if c.dispatchGated(now, t) {
@@ -512,7 +643,7 @@ func (c *CPU) dispatchOne(t *thread) bool {
 	if t.robCount() >= c.cfg.ROBPerThread {
 		return false
 	}
-	in := t.frontend[0].in
+	in := t.frontend[t.feHead].in
 	fp := in.Kind == workload.FPOp
 	if fp {
 		if c.fpIQUsed >= c.cfg.FPIQ {
@@ -554,7 +685,11 @@ func (c *CPU) dispatchOne(t *thread) bool {
 		t.sq++
 	}
 	c.waiting = append(c.waiting, u)
-	t.frontend = t.frontend[1:]
+	t.feHead++
+	if t.feHead == len(t.frontend) {
+		t.frontend = t.frontend[:0]
+		t.feHead = 0
+	}
 	return true
 }
 
@@ -672,21 +807,20 @@ func (c *CPU) issueALU(now uint64, t *thread, u *uop) {
 		u.doneAt = now + 1 // address generation; data written at commit
 	case workload.Branch:
 		if u.in.Mispredict {
-			seq, epoch := u.seq, u.epoch
-			c.q.Schedule(u.doneAt, func(at uint64) { c.resolveBranch(at, t, seq, epoch) })
+			e := c.getBrEvent()
+			e.t, e.seq, e.epoch = t, u.seq, u.epoch
+			c.q.ScheduleHandler(u.doneAt, e)
 		}
 	}
 }
 
 func (c *CPU) issueLoad(now uint64, t *thread, u *uop) bool {
-	seq, epoch := u.seq, u.epoch
-	ok := c.l1d.ReadLine(now+1, u.in.Addr, c.meta(t, true), func(at uint64) {
-		v := &t.rob[seq%uint64(len(t.rob))]
-		if v.seq == seq && v.epoch == epoch && v.state == stIssued {
-			v.doneAt = at
-		}
-	})
+	f := c.getLoadFill()
+	f.t, f.seq, f.epoch = t, u.seq, u.epoch
+	ok := c.l1d.ReadLine(now+1, u.in.Addr, c.meta(t, true), f.fn)
 	if !ok {
+		f.t = nil
+		c.freeLoadFills = append(c.freeLoadFills, f)
 		return false
 	}
 	u.state = stIssued
@@ -711,23 +845,27 @@ func (c *CPU) resolveBranch(now uint64, t *thread, seq, epoch uint64) {
 
 	// Collect the squashed suffix (ROB entries younger than the branch,
 	// then the frontend, then the peeked instruction) for replay, ahead of
-	// anything already queued for replay.
-	var replay []workload.Instr
+	// anything already queued for replay. The list is built in the thread's
+	// spare buffer, which then swaps with the old replay slice.
+	replay := t.replayScratch[:0]
 	for s := seq + 1; s < t.nextSeq; s++ {
 		v := &t.rob[s%uint64(len(t.rob))]
 		replay = append(replay, v.in)
 		c.releaseSquashed(t, v)
 		v.epoch = ^uint64(0) // poison: stale waiting refs and callbacks miss
 	}
-	for _, fe := range t.frontend {
+	for _, fe := range t.frontend[t.feHead:] {
 		replay = append(replay, fe.in)
 	}
-	if t.peeked != nil {
-		replay = append(replay, *t.peeked)
-		t.peeked = nil
+	if t.hasPeeked {
+		replay = append(replay, t.peeked)
+		t.hasPeeked = false
 	}
-	t.replay = append(replay, t.replay...)
+	replay = append(replay, t.replay...)
+	t.replayScratch = t.replay[:0]
+	t.replay = replay
 	t.frontend = t.frontend[:0]
+	t.feHead = 0
 	t.nextSeq = seq + 1
 	t.epoch++
 	t.imissPending = false
@@ -782,10 +920,10 @@ func (c *CPU) commit(now uint64) {
 				break
 			}
 			if u.in.Kind == workload.Store {
-				if len(c.pendingStores) >= c.cfg.SQ {
+				if len(c.pendingStores)-c.psHead >= c.cfg.SQ {
 					break // store buffer full: stall commit
 				}
-				c.pendingStores = append(c.pendingStores, pendingStore{addr: u.in.Addr, meta: c.meta(t, false)})
+				c.psPush(pendingStore{addr: u.in.Addr, meta: c.meta(t, false)})
 				c.sqUsed--
 				t.sq--
 			}
@@ -808,14 +946,27 @@ func (c *CPU) commit(now uint64) {
 	c.rrCommit++
 }
 
+// psPush appends to the committed-store deque, reclaiming drained head space
+// rather than growing the buffer.
+func (c *CPU) psPush(s pendingStore) {
+	if c.psHead > 0 && len(c.pendingStores) == cap(c.pendingStores) {
+		n := copy(c.pendingStores, c.pendingStores[c.psHead:])
+		c.pendingStores = c.pendingStores[:n]
+		c.psHead = 0
+	}
+	c.pendingStores = append(c.pendingStores, s)
+}
+
 // drainStores pushes committed stores into the L1D; MSHR backpressure keeps
 // them buffered.
 func (c *CPU) drainStores(now uint64) {
-	for len(c.pendingStores) > 0 {
-		s := c.pendingStores[0]
+	for c.psHead < len(c.pendingStores) {
+		s := c.pendingStores[c.psHead]
 		if !c.l1d.Store(now, s.addr, s.meta) {
 			return
 		}
-		c.pendingStores = c.pendingStores[1:]
+		c.psHead++
 	}
+	c.pendingStores = c.pendingStores[:0]
+	c.psHead = 0
 }

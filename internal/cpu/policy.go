@@ -71,7 +71,7 @@ func FetchPolicies() []FetchPolicy {
 func (c *CPU) fetchOrder(now uint64) []*thread {
 	cands := c.scratchThreads[:0]
 	for _, t := range c.threads {
-		if t.fetchBlockedUntil > now || t.imissPending || len(t.frontend) >= c.cfg.FrontendCap {
+		if t.fetchBlockedUntil > now || t.imissPending || t.feLen() >= c.cfg.FrontendCap {
 			continue
 		}
 		cands = append(cands, t)
@@ -81,7 +81,7 @@ func (c *CPU) fetchOrder(now uint64) []*thread {
 	}
 	switch c.cfg.Policy {
 	case RoundRobin:
-		rotate(cands, c.rrFetch)
+		c.rotate(cands, c.rrFetch)
 		c.rrFetch++
 	case ICOUNT:
 		sortByICount(cands)
@@ -114,7 +114,7 @@ func (c *CPU) fetchOrder(now uint64) []*thread {
 		// Two groups: no outstanding data-cache miss first; ICOUNT within.
 		// Coop additionally orders the miss group by live DRAM pressure.
 		sortByICount(cands)
-		ordered := make([]*thread, 0, len(cands))
+		ordered := c.scratchOrder[:0]
 		for _, t := range cands {
 			if !t.hasL1DMiss(now, c.cfg) {
 				ordered = append(ordered, t)
@@ -135,13 +135,14 @@ func (c *CPU) fetchOrder(now uint64) []*thread {
 			}
 		}
 		copy(cands, ordered)
+		c.scratchOrder = ordered
 	}
 	return cands
 }
 
 // icount is the ICOUNT metric: instructions in the front end plus issue
 // queues.
-func (t *thread) icount() int { return len(t.frontend) + t.iqInt + t.iqFP }
+func (t *thread) icount() int { return t.feLen() + t.iqInt + t.iqFP }
 
 func sortByICount(ts []*thread) {
 	// Insertion sort: the slice is at most 8 threads, and stability keeps
@@ -160,13 +161,13 @@ func less(a, b *thread) bool {
 	return a.id < b.id
 }
 
-func rotate(ts []*thread, by int) {
+func (c *CPU) rotate(ts []*thread, by int) {
 	if len(ts) < 2 {
 		return
 	}
 	by %= len(ts)
-	tmp := make([]*thread, 0, len(ts))
-	tmp = append(tmp, ts[by:]...)
+	tmp := append(c.scratchOrder[:0], ts[by:]...)
 	tmp = append(tmp, ts[:by]...)
 	copy(ts, tmp)
+	c.scratchOrder = tmp
 }

@@ -7,10 +7,19 @@ package event
 // Func is a callback fired when the simulation clock reaches its cycle.
 type Func func(now uint64)
 
+// Handler is the allocation-free alternative to Func: components that fire
+// the same kind of event over and over implement Handler on a long-lived
+// (or pooled) struct and pass it to ScheduleHandler, instead of allocating
+// a fresh closure per Schedule call on the simulation hot path.
+type Handler interface {
+	OnEvent(now uint64)
+}
+
 type item struct {
 	at  uint64
 	seq uint64 // tie-breaker: FIFO among equal cycles
 	fn  Func
+	h   Handler
 }
 
 // Queue is a deterministic discrete-event queue. The zero value is ready to
@@ -59,6 +68,23 @@ func (q *Queue) Schedule(at uint64, fn Func) {
 	q.up(len(q.heap) - 1)
 }
 
+// ScheduleHandler registers h to run at cycle at. It shares the clock, the
+// FIFO tie-break sequence, and the hazard accounting with Schedule — an event
+// scheduled through either entry point fires in exactly the same order — but
+// takes an interface value instead of a closure, so callers can reuse one
+// handler object across millions of events without allocating.
+func (q *Queue) ScheduleHandler(at uint64, h Handler) {
+	if at < q.firedAt {
+		q.past++
+	}
+	q.heap = append(q.heap, item{at: at, seq: q.seq, h: h})
+	if len(q.heap) > q.maxLen {
+		q.maxLen = len(q.heap)
+	}
+	q.seq++
+	q.up(len(q.heap) - 1)
+}
+
 // NextAt returns the cycle of the earliest pending event. ok is false when
 // the queue is empty.
 func (q *Queue) NextAt() (at uint64, ok bool) {
@@ -77,7 +103,11 @@ func (q *Queue) RunUntil(now uint64) {
 		if it.at > q.firedAt {
 			q.firedAt = it.at
 		}
-		it.fn(it.at)
+		if it.h != nil {
+			it.h.OnEvent(it.at)
+		} else {
+			it.fn(it.at)
+		}
 	}
 }
 

@@ -186,3 +186,53 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 	q.RunUntil(1 << 30)
 }
+
+// recordingHandler is a reusable Handler for the tests below.
+type recordingHandler struct {
+	fired []uint64
+}
+
+func (h *recordingHandler) OnEvent(now uint64) { h.fired = append(h.fired, now) }
+
+// TestScheduleHandlerInterleavesWithSchedule checks that handler events and
+// closure events share one FIFO sequence: same-cycle events fire in
+// registration order regardless of which entry point registered them.
+func TestScheduleHandlerInterleavesWithSchedule(t *testing.T) {
+	var q Queue
+	var got []string
+	h := &recordingHandler{}
+	q.Schedule(5, func(uint64) { got = append(got, "fn1") })
+	q.ScheduleHandler(5, h)
+	q.Schedule(5, func(uint64) { got = append(got, "fn2") })
+	q.RunUntil(5)
+	if len(h.fired) != 1 || h.fired[0] != 5 {
+		t.Fatalf("handler fired = %v, want [5]", h.fired)
+	}
+	if len(got) != 2 || got[0] != "fn1" || got[1] != "fn2" {
+		t.Fatalf("closures fired = %v, want [fn1 fn2]", got)
+	}
+	if q.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", q.Fired())
+	}
+}
+
+// TestScheduleHandlerDoesNotAllocate is the hot-path contract: once the heap
+// has grown, scheduling and firing a reusable handler costs zero allocations
+// per event. (Closure-based Schedule cannot make this guarantee — that is
+// why ScheduleHandler exists.)
+func TestScheduleHandlerDoesNotAllocate(t *testing.T) {
+	var q Queue
+	h := &recordingHandler{fired: make([]uint64, 0, 1024)}
+	now := uint64(0)
+	q.ScheduleHandler(1, h) // grow the heap once
+	q.RunUntil(1)
+	now = 1
+	avg := testing.AllocsPerRun(200, func() {
+		now++
+		q.ScheduleHandler(now, h)
+		q.RunUntil(now)
+	})
+	if avg != 0 {
+		t.Fatalf("ScheduleHandler+RunUntil allocates %v/op, want 0", avg)
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"smtdram/internal/addrmap"
 	"smtdram/internal/core"
 	"smtdram/internal/cpu"
 	"smtdram/internal/memctrl"
 	"smtdram/internal/report"
+	"smtdram/internal/runner"
 	"smtdram/internal/stats"
 	"smtdram/internal/workload"
 )
@@ -29,14 +31,24 @@ type Options struct {
 	Warmup, Target uint64
 	// Seed drives the generators.
 	Seed int64
-	// Out receives progress and tables; nil discards.
+	// Jobs bounds how many simulations run concurrently (the -jobs flag).
+	// 0 and 1 both mean sequential execution on the calling goroutine.
+	// Figure output is byte-identical for every value: runs are collected in
+	// submission order and each simulation is a pure function of its Config.
+	Jobs int
+	// Out receives progress and tables; nil discards. With Jobs > 1 the
+	// progress lines still appear in deterministic (submission) order.
 	Out io.Writer
 	// Baselines caches single-thread IPCs across figures. Keyed by a
-	// config-derived string; safe to share within a process.
+	// config-derived string; safe to share within a process (the figures
+	// guard it internally when Jobs > 1).
 	Baselines map[string]float64
 	// Configure, when non-nil, is applied to every machine configuration the
 	// figures build (including weighted-speedup baseline runs) before it
 	// runs. cmd/experiments uses it to attach the observability layer.
+	// Configure itself is only invoked on the calling goroutine, but any
+	// hooks it installs on the Config (e.g. Observe) fire on worker
+	// goroutines when Jobs > 1 and must be safe for concurrent use.
 	Configure func(*core.Config)
 }
 
@@ -71,33 +83,100 @@ func (o Options) baseConfig(apps ...string) core.Config {
 	return cfg
 }
 
-// weightedSpeedup runs cfg and computes weighted speedup against
-// single-thread baselines measured once on the paper's *reference* machine
-// (the default 2-channel DDR configuration). Fixing the denominator is what
-// makes weighted speedups comparable across machine configurations — with
+// figRun is the orchestration context for one figure: the worker pool that
+// fans independent simulations out, and the single-flight memo that backs the
+// alone-IPC baseline cache. Every figure submits all of its runs up front and
+// then Waits for them in submission order, so the assembled rows (and the
+// progress lines) are byte-identical to a sequential sweep no matter how the
+// workers interleave. Jobs <= 1 degenerates to lazy inline execution, which
+// reproduces the pre-pool compute/print interleaving exactly.
+type figRun struct {
+	o    Options
+	pool *runner.Pool
+	memo runner.Memo[string, float64]
+	mu   sync.Mutex // guards o.Baselines
+}
+
+func (o Options) newRun() *figRun {
+	jobs := o.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	return &figRun{o: o, pool: runner.New(jobs)}
+}
+
+// baseline returns the future of app's single-thread IPC on the paper's
+// *reference* machine (the default 2-channel DDR configuration). Values
+// persist into Options.Baselines so later figures of the same invocation
+// reuse them; within one figure the memo guarantees each baseline simulation
+// is submitted at most once, however many mixes share the application.
+func (r *figRun) baseline(app string) *runner.Future[float64] {
+	key := fmt.Sprintf("%s|%d|%d|%d", app, r.o.Warmup, r.o.Target, r.o.Seed)
+	r.mu.Lock()
+	v, ok := r.o.Baselines[key]
+	r.mu.Unlock()
+	if ok {
+		return runner.Resolved(v, nil)
+	}
+	ref := r.o.baseConfig(app) // the reference machine, always
+	return r.memo.Get(r.pool, key, func() (float64, error) {
+		v, err := core.RunAlone(ref, app)
+		if err != nil {
+			return 0, err
+		}
+		r.mu.Lock()
+		r.o.Baselines[key] = v
+		r.mu.Unlock()
+		return v, nil
+	})
+}
+
+// wsJob is one in-flight weighted-speedup computation: the mix run plus the
+// baseline futures for its applications.
+type wsJob struct {
+	run   *runner.Future[core.Result]
+	alone []*runner.Future[float64]
+}
+
+// submitWS schedules cfg and its baselines on the pool. Neither the run nor
+// the baselines Wait on each other inside pool jobs — all Waits happen in
+// wsJob.Wait on the submitting goroutine, per the runner deadlock rule.
+func (r *figRun) submitWS(cfg core.Config) wsJob {
+	j := wsJob{
+		run: runner.Submit(r.pool, func() (core.Result, error) { return core.Run(cfg) }),
+	}
+	for _, app := range cfg.Apps {
+		j.alone = append(j.alone, r.baseline(app))
+	}
+	return j
+}
+
+// Wait assembles the weighted speedup against single-thread baselines
+// measured on the reference machine. Fixing the denominator is what makes
+// weighted speedups comparable across machine configurations — with
 // per-config baselines, a memory-system improvement would inflate the
 // denominator too and cancel itself out of every figure.
-func (o Options) weightedSpeedup(cfg core.Config) (float64, core.Result, error) {
-	res, err := core.Run(cfg)
+func (j wsJob) Wait() (float64, core.Result, error) {
+	res, err := j.run.Wait()
 	if err != nil {
 		return 0, core.Result{}, err
 	}
-	alone := make([]float64, len(cfg.Apps))
-	for i, app := range cfg.Apps {
-		key := fmt.Sprintf("%s|%d|%d|%d", app, o.Warmup, o.Target, o.Seed)
-		v, ok := o.Baselines[key]
-		if !ok {
-			ref := o.baseConfig(app) // the reference machine, always
-			v, err = core.RunAlone(ref, app)
-			if err != nil {
-				return 0, core.Result{}, err
-			}
-			o.Baselines[key] = v
+	alone := make([]float64, len(j.alone))
+	for i, f := range j.alone {
+		v, err := f.Wait()
+		if err != nil {
+			return 0, core.Result{}, err
 		}
 		alone[i] = v
 	}
 	ws, err := stats.WeightedSpeedup(res.IPC, alone)
 	return ws, res, err
+}
+
+// weightedSpeedup is the single-run form of submitWS/Wait, kept for callers
+// (and tests) that need one weighted speedup outside a figure sweep.
+func (o Options) weightedSpeedup(cfg core.Config) (float64, core.Result, error) {
+	return o.newRun().submitWS(cfg).Wait()
 }
 
 // ---------------------------------------------------------------- Table 2
@@ -120,15 +199,35 @@ type Fig1Row struct {
 }
 
 // Fig1 reproduces the CPI breakdown of all 26 SPEC2000 applications on the
-// 2-channel DDR system, via the paper's four-run attribution.
+// 2-channel DDR system, via the paper's four-run attribution. All 4×26 runs
+// are independent and fan out on the pool together.
 func Fig1(o Options) ([]Fig1Row, error) {
 	o = o.withDefaults()
-	var rows []Fig1Row
-	for _, app := range workload.Names() {
-		b, err := core.CPIBreakdown(o.baseConfig(app), app)
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", app, err)
+	r := o.newRun()
+	apps := workload.Names()
+	jobs := make([][4]*runner.Future[float64], len(apps))
+	for i, app := range apps {
+		for k, cfg := range core.CPIBreakdownConfigs(o.baseConfig(app), app) {
+			jobs[i][k] = runner.Submit(r.pool, func() (float64, error) {
+				res, err := core.Run(cfg)
+				if err != nil {
+					return 0, err
+				}
+				return 1 / res.IPC[0], nil
+			})
 		}
+	}
+	var rows []Fig1Row
+	for i, app := range apps {
+		var cpi [4]float64
+		for k, f := range jobs[i] {
+			v, err := f.Wait()
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s: %w", app, err)
+			}
+			cpi[k] = v
+		}
+		b := stats.NewBreakdown(cpi[0], cpi[1], cpi[2], cpi[3])
 		rows = append(rows, Fig1Row{App: app, Breakdown: b})
 		fmt.Fprintf(o.Out, "  fig1 %-9s done\n", app)
 	}
@@ -158,18 +257,28 @@ type Fig2Cell struct {
 // Fig2 compares the four fetch policies on every Table 2 mix.
 func Fig2(o Options) ([]Fig2Cell, error) {
 	o = o.withDefaults()
-	var out []Fig2Cell
+	r := o.newRun()
+	type job struct {
+		mix string
+		pol cpu.FetchPolicy
+		ws  wsJob
+	}
+	var jobs []job
 	for _, m := range workload.Mixes() {
 		for _, pol := range cpu.FetchPolicies() {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.CPU.Policy = pol
-			ws, _, err := o.weightedSpeedup(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s/%v: %w", m.Name, pol, err)
-			}
-			out = append(out, Fig2Cell{Mix: m.Name, Policy: pol, WS: ws})
-			fmt.Fprintf(o.Out, "  fig2 %-6s %-12v WS=%.3f\n", m.Name, pol, ws)
+			jobs = append(jobs, job{m.Name, pol, r.submitWS(cfg)})
 		}
+	}
+	var out []Fig2Cell
+	for _, j := range jobs {
+		ws, _, err := j.ws.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s/%v: %w", j.mix, j.pol, err)
+		}
+		out = append(out, Fig2Cell{Mix: j.mix, Policy: j.pol, WS: ws})
+		fmt.Fprintf(o.Out, "  fig2 %-6s %-12v WS=%.3f\n", j.mix, j.pol, ws)
 	}
 	return out, nil
 }
@@ -214,22 +323,37 @@ type Fig3Row struct {
 // ICOUNT and DWarn, against a system with an infinitely large L3.
 func Fig3(o Options) ([]Fig3Row, error) {
 	o = o.withDefaults()
-	var out []Fig3Row
+	r := o.newRun()
+	pols := []cpu.FetchPolicy{cpu.ICOUNT, cpu.DWarn}
+	type job struct {
+		mix      string
+		ref      wsJob
+		policies [2]wsJob
+	}
+	var jobs []job
 	for _, m := range workload.Mixes() {
 		ref := o.baseConfig(m.Apps...)
 		ref.CPU.Policy = cpu.ICOUNT
 		ref.PerfectL3 = true
-		refWS, _, err := o.weightedSpeedup(ref)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s ref: %w", m.Name, err)
-		}
-		row := Fig3Row{Mix: m.Name}
-		for _, pol := range []cpu.FetchPolicy{cpu.ICOUNT, cpu.DWarn} {
+		j := job{mix: m.Name, ref: r.submitWS(ref)}
+		for i, pol := range pols {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.CPU.Policy = pol
-			ws, _, err := o.weightedSpeedup(cfg)
+			j.policies[i] = r.submitWS(cfg)
+		}
+		jobs = append(jobs, j)
+	}
+	var out []Fig3Row
+	for _, j := range jobs {
+		refWS, _, err := j.ref.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s ref: %w", j.mix, err)
+		}
+		row := Fig3Row{Mix: j.mix}
+		for i, pol := range pols {
+			ws, _, err := j.policies[i].Wait()
 			if err != nil {
-				return nil, fmt.Errorf("fig3 %s/%v: %w", m.Name, pol, err)
+				return nil, fmt.Errorf("fig3 %s/%v: %w", j.mix, pol, err)
 			}
 			if pol == cpu.ICOUNT {
 				row.RelICOUNT = ws / refWS
@@ -239,7 +363,7 @@ func Fig3(o Options) ([]Fig3Row, error) {
 		}
 		out = append(out, row)
 		fmt.Fprintf(o.Out, "  fig3 %-6s icount=%.1f%% dwarn=%.1f%%\n",
-			m.Name, 100*row.RelICOUNT, 100*row.RelDWarn)
+			j.mix, 100*row.RelICOUNT, 100*row.RelDWarn)
 	}
 	return out, nil
 }
@@ -270,10 +394,16 @@ type ConcurrencyRow struct {
 // number of threads generating concurrent requests (Figure 5).
 func Fig4and5(o Options) ([]ConcurrencyRow, error) {
 	o = o.withDefaults()
-	var out []ConcurrencyRow
-	for _, m := range workload.Mixes() {
+	r := o.newRun()
+	mixes := workload.Mixes()
+	futs := make([]*runner.Future[core.Result], len(mixes))
+	for i, m := range mixes {
 		cfg := o.baseConfig(m.Apps...)
-		res, err := core.Run(cfg)
+		futs[i] = runner.Submit(r.pool, func() (core.Result, error) { return core.Run(cfg) })
+	}
+	var out []ConcurrencyRow
+	for i, m := range mixes {
+		res, err := futs[i].Wait()
 		if err != nil {
 			return nil, fmt.Errorf("fig4/5 %s: %w", m.Name, err)
 		}
@@ -344,14 +474,23 @@ type Fig6Row struct {
 // Fig6 sweeps 2/4/8 independent channels.
 func Fig6(o Options) ([]Fig6Row, error) {
 	o = o.withDefaults()
-	var out []Fig6Row
-	for _, m := range workload.Mixes() {
-		row := Fig6Row{Mix: m.Name, Norm: map[int]float64{}}
-		var base float64
-		for _, ch := range []int{2, 4, 8} {
+	r := o.newRun()
+	channels := []int{2, 4, 8}
+	mixes := workload.Mixes()
+	jobs := make([][3]wsJob, len(mixes))
+	for i, m := range mixes {
+		for k, ch := range channels {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.Mem.PhysChannels = ch
-			ws, _, err := o.weightedSpeedup(cfg)
+			jobs[i][k] = r.submitWS(cfg)
+		}
+	}
+	var out []Fig6Row
+	for i, m := range mixes {
+		row := Fig6Row{Mix: m.Name, Norm: map[int]float64{}}
+		var base float64
+		for k, ch := range channels {
+			ws, _, err := jobs[i][k].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s/%dch: %w", m.Name, ch, err)
 			}
@@ -410,15 +549,24 @@ func fig7Mixes() []workload.Mix {
 // Fig7 compares clustering physical channels into logical ones.
 func Fig7(o Options) ([]Fig7Row, error) {
 	o = o.withDefaults()
-	var out []Fig7Row
-	for _, m := range fig7Mixes() {
-		row := Fig7Row{Mix: m.Name, Norm: map[GangOrg]float64{}}
-		var base float64
-		for _, org := range Fig7Orgs() {
+	r := o.newRun()
+	orgs := Fig7Orgs()
+	mixes := fig7Mixes()
+	jobs := make([][]wsJob, len(mixes))
+	for i, m := range mixes {
+		for _, org := range orgs {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.Mem.PhysChannels = org.Phys
 			cfg.Mem.Gang = org.Gang
-			ws, _, err := o.weightedSpeedup(cfg)
+			jobs[i] = append(jobs[i], r.submitWS(cfg))
+		}
+	}
+	var out []Fig7Row
+	for i, m := range mixes {
+		row := Fig7Row{Mix: m.Name, Norm: map[GangOrg]float64{}}
+		var base float64
+		for k, org := range orgs {
+			ws, _, err := jobs[i][k].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig7 %s/%v: %w", m.Name, org, err)
 			}
@@ -463,14 +611,23 @@ type MappingRow struct {
 // figMapping runs the page-vs-XOR comparison on the given DRAM kind.
 func figMapping(o Options, kind core.DRAMKind) ([]MappingRow, error) {
 	o = o.withDefaults()
-	var out []MappingRow
-	for _, m := range fig7Mixes() { // MEM and MIX mixes, like the paper
-		row := MappingRow{Mix: m.Name}
-		for _, scheme := range []addrmap.Scheme{addrmap.Page, addrmap.XOR} {
+	r := o.newRun()
+	schemes := []addrmap.Scheme{addrmap.Page, addrmap.XOR}
+	mixes := fig7Mixes() // MEM and MIX mixes, like the paper
+	jobs := make([][2]*runner.Future[core.Result], len(mixes))
+	for i, m := range mixes {
+		for k, scheme := range schemes {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.Mem.Kind = kind
 			cfg.Mem.Scheme = scheme
-			res, err := core.Run(cfg)
+			jobs[i][k] = runner.Submit(r.pool, func() (core.Result, error) { return core.Run(cfg) })
+		}
+	}
+	var out []MappingRow
+	for i, m := range mixes {
+		row := MappingRow{Mix: m.Name}
+		for k, scheme := range schemes {
+			res, err := jobs[i][k].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig8/9 %s/%v/%v: %w", m.Name, kind, scheme, err)
 			}
@@ -515,13 +672,22 @@ type Fig10Cell struct {
 // Fig10 compares the six access-scheduling policies.
 func Fig10(o Options) ([]Fig10Cell, error) {
 	o = o.withDefaults()
-	var out []Fig10Cell
-	for _, m := range fig7Mixes() {
-		var base float64
-		for _, pol := range memctrl.Policies() {
+	r := o.newRun()
+	pols := memctrl.Policies()
+	mixes := fig7Mixes()
+	jobs := make([][]wsJob, len(mixes))
+	for i, m := range mixes {
+		for _, pol := range pols {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.Mem.Policy = pol
-			ws, _, err := o.weightedSpeedup(cfg)
+			jobs[i] = append(jobs[i], r.submitWS(cfg))
+		}
+	}
+	var out []Fig10Cell
+	for i, m := range mixes {
+		var base float64
+		for k, pol := range pols {
+			ws, _, err := jobs[i][k].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s/%v: %w", m.Name, pol, err)
 			}

@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderSweep runs a representative slice of the figure sweeps (weighted
+// speedups with shared baselines, raw-result runs, and the four-run CPI
+// attribution) at the given job count, returning the rendered tables and the
+// verbose progress stream separately.
+func renderSweep(t *testing.T, jobs int) (tables, progress string) {
+	t.Helper()
+	var tbl, prog bytes.Buffer
+	o := Options{Warmup: 1_000, Target: 1_000, Seed: 42, Jobs: jobs,
+		Out: &prog, Baselines: map[string]float64{}}
+
+	rows1, err := Fig1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig1(&tbl, rows1)
+
+	cells, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig2(&tbl, cells)
+
+	rows8, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintMapping(&tbl, "Figure 8: row-buffer miss rates, 2-channel DDR", rows8)
+	return tbl.String(), prog.String()
+}
+
+// TestJobsOutputByteIdentical is the determinism contract end to end: the
+// parallel scheduler must reproduce the sequential figure output (and even
+// the verbose progress lines) byte for byte.
+func TestJobsOutputByteIdentical(t *testing.T) {
+	seqTables, seqProgress := renderSweep(t, 1)
+	parTables, parProgress := renderSweep(t, 8)
+	if parTables != seqTables {
+		t.Fatalf("-jobs 8 tables differ from -jobs 1:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			seqTables, parTables)
+	}
+	if parProgress != seqProgress {
+		t.Fatalf("-jobs 8 progress differs from -jobs 1:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			seqProgress, parProgress)
+	}
+}
+
+// TestParallelFiguresRace exercises the pool, the baseline memo, and the
+// shared Baselines map under concurrency; run with -race (CI does) to check
+// the synchronization, not just the results.
+func TestParallelFiguresRace(t *testing.T) {
+	o := Options{Warmup: 1_000, Target: 1_000, Seed: 42, Jobs: 4,
+		Baselines: map[string]float64{}}
+	rows, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9 mixes", len(rows))
+	}
+	filled := len(o.Baselines)
+	if filled == 0 {
+		t.Fatal("parallel sweep left the baseline cache empty")
+	}
+	// A second sweep over the same mixes must reuse every cached baseline.
+	if _, err := Fig6(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Baselines) != filled {
+		t.Fatalf("second sweep grew the baseline cache %d → %d", filled, len(o.Baselines))
+	}
+}

@@ -155,12 +155,43 @@ type TraceEvent struct {
 	QueuedBehind int
 }
 
-// entry is a queued request plus its decoded location.
+// entry is a queued request plus its decoded location. Entries are recycled
+// through the controller's free list, and after dispatch the entry doubles as
+// the request's completion event (it implements event.Handler), so steady-state
+// request traffic allocates neither entries nor closures.
 type entry struct {
 	req          *mem.Request
 	loc          addrmap.Loc
 	seq          uint64
 	queuedBehind int
+
+	ctrl *Controller
+	cc   *channelCtl // dispatching channel, set when the completion is armed
+}
+
+// OnEvent fires at the request's last data beat. The entry returns itself to
+// the free list up front — the completion body below may enqueue follow-on
+// requests (via OnComplete or dispatch) that immediately reuse it — so every
+// field is copied to locals first.
+func (e *entry) OnEvent(at uint64) {
+	c, cc, req, loc := e.ctrl, e.cc, e.req, e.loc
+	c.releaseEntry(e)
+	cc.inFlight--
+	if req.IsRead() {
+		c.Stats.ReadLatencySum += at - req.Arrive
+		if t := req.Thread; t >= 0 && t < len(c.Stats.ThreadReads) {
+			c.Stats.ThreadReads[t]++
+			c.Stats.ThreadReadLatencySum[t] += at - req.Arrive
+		}
+	}
+	c.accountChange(at, req.Thread, -1)
+	if c.lc != nil {
+		c.lc.Emit(lcEvent(obs.KDone, at, at, req, loc))
+	}
+	if req.OnComplete != nil {
+		req.OnComplete(at)
+	}
+	c.dispatch(at, cc)
 }
 
 type channelCtl struct {
@@ -168,6 +199,19 @@ type channelCtl struct {
 	queue      []*entry
 	inFlight   int
 	retryArmed bool
+	retry      retryEvent // pre-bound bank-ready wake-up (one per channel)
+}
+
+// retryEvent is the bank-ready wake-up armed by armRetry. One lives in each
+// channelCtl, bound at construction, so arming a retry never allocates.
+type retryEvent struct {
+	c  *Controller
+	cc *channelCtl
+}
+
+func (r *retryEvent) OnEvent(at uint64) {
+	r.cc.retryArmed = false
+	r.c.dispatch(at, r.cc)
 }
 
 // maxTrackedOutstanding caps the concurrency histograms.
@@ -222,6 +266,9 @@ type Controller struct {
 	// lc receives request-lifecycle events; nil when tracing is disabled.
 	lc obs.Sink
 
+	// freeEntries recycles queue entries (and their completion events).
+	freeEntries []*entry
+
 	// live per-thread pending demand-request counts (the request-based
 	// scheme's input; the controller knows these precisely).
 	outstanding []int
@@ -252,7 +299,9 @@ func New(q *event.Queue, cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.channels = append(c.channels, &channelCtl{dev: dev})
+		cc := &channelCtl{dev: dev}
+		cc.retry = retryEvent{c: c, cc: cc}
+		c.channels = append(c.channels, cc)
 	}
 	if cfg.Obs != nil {
 		if cfg.Obs.Trace != nil {
@@ -346,7 +395,8 @@ func (c *Controller) Enqueue(now uint64, r *mem.Request) bool {
 		return false
 	}
 	r.Arrive = now
-	e := &entry{req: r, loc: loc, seq: c.seq, queuedBehind: len(cc.queue) + cc.inFlight}
+	e := c.getEntry()
+	e.req, e.loc, e.seq, e.queuedBehind = r, loc, c.seq, len(cc.queue)+cc.inFlight
 	c.seq++
 	cc.queue = append(cc.queue, e)
 	if c.lc != nil {
@@ -437,25 +487,25 @@ func (c *Controller) dispatch(now uint64, cc *channelCtl) {
 		if c.lc != nil {
 			c.emitServicePhases(now, req, loc, d, cc.dev.Params())
 		}
-		c.q.Schedule(done, func(at uint64) {
-			cc.inFlight--
-			if req.IsRead() {
-				c.Stats.ReadLatencySum += at - req.Arrive
-				if t := req.Thread; t >= 0 && t < len(c.Stats.ThreadReads) {
-					c.Stats.ThreadReads[t]++
-					c.Stats.ThreadReadLatencySum[t] += at - req.Arrive
-				}
-			}
-			c.accountChange(at, req.Thread, -1)
-			if c.lc != nil {
-				c.lc.Emit(lcEvent(obs.KDone, at, at, req, loc))
-			}
-			if req.OnComplete != nil {
-				req.OnComplete(at)
-			}
-			c.dispatch(at, cc)
-		})
+		e.cc = cc
+		c.q.ScheduleHandler(done, e)
 	}
+}
+
+func (c *Controller) getEntry() *entry {
+	if n := len(c.freeEntries); n > 0 {
+		e := c.freeEntries[n-1]
+		c.freeEntries[n-1] = nil
+		c.freeEntries = c.freeEntries[:n-1]
+		return e
+	}
+	return &entry{ctrl: c}
+}
+
+func (c *Controller) releaseEntry(e *entry) {
+	e.req = nil
+	e.cc = nil
+	c.freeEntries = append(c.freeEntries, e)
 }
 
 // emitServicePhases translates one committed DRAM access into lifecycle
@@ -499,10 +549,7 @@ func (c *Controller) armRetry(now uint64, cc *channelCtl) {
 		wake = now + 1
 	}
 	cc.retryArmed = true
-	c.q.Schedule(wake, func(at uint64) {
-		cc.retryArmed = false
-		c.dispatch(at, cc)
-	})
+	c.q.ScheduleHandler(wake, &cc.retry)
 }
 
 // pick returns the index of the highest-priority startable queued entry

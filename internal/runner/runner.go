@@ -1,0 +1,121 @@
+// Package runner provides the bounded worker pool that fans independent
+// simulations out across GOMAXPROCS goroutines. Every simulated machine is
+// still one goroutine (the event.Queue contract: a Queue is single-threaded);
+// the pool only exploits the parallelism *between* machines — the dozens of
+// independent core.Run calls behind every figure of the paper's evaluation.
+//
+// Determinism contract: Submit returns a Future immediately, and results are
+// consumed by Wait-ing futures in submission order on the submitting
+// goroutine. Each simulation is a pure function of its Config (private
+// event queue, private rng), so the assembled output is byte-identical to a
+// sequential run regardless of the completion order of the workers. A pool
+// with Jobs()==1 degenerates to lazy inline execution: each job runs on the
+// submitting goroutine at its future's first Wait — exactly the pre-pool
+// compute/collect interleaving, with no goroutines involved.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many submitted jobs run concurrently.
+type Pool struct {
+	jobs int
+	sem  chan struct{}
+}
+
+// New builds a pool running up to jobs submissions concurrently. jobs < 1
+// selects runtime.GOMAXPROCS(0). A 1-job pool runs each submission inline,
+// deferred to its future's first Wait.
+func New(jobs int) *Pool {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: jobs}
+	if jobs > 1 {
+		p.sem = make(chan struct{}, jobs)
+	}
+	return p
+}
+
+// Sequential is the inline-execution pool; each job runs on the submitting
+// goroutine when its future is first Waited.
+func Sequential() *Pool { return New(1) }
+
+// Jobs reports the concurrency bound.
+func (p *Pool) Jobs() int { return p.jobs }
+
+// Future is the pending result of one submitted job.
+type Future[T any] struct {
+	fn   func() (T, error) // non-nil: lazy (1-job pool), runs at first Wait
+	done chan struct{}     // non-nil: running on a worker goroutine
+	val  T
+	err  error
+}
+
+// Wait returns the job's result, blocking until the worker finishes (pooled
+// jobs) or running the job now (1-job pools, which defer execution to Wait so
+// sequential mode interleaves compute and collection exactly like a plain
+// loop). Wait may be called more than once; lazy futures must be awaited on
+// the submitting goroutine, pooled futures from anywhere.
+func (f *Future[T]) Wait() (T, error) {
+	if f.fn != nil {
+		fn := f.fn
+		f.fn = nil
+		f.val, f.err = fn()
+	} else if f.done != nil {
+		<-f.done
+	}
+	return f.val, f.err
+}
+
+// Resolved builds an already-completed future carrying v. The baseline memo
+// uses it to hand out cached values through the same Wait interface.
+func Resolved[T any](v T, err error) *Future[T] {
+	return &Future[T]{val: v, err: err}
+}
+
+// Submit schedules fn on the pool and returns its future. On a 1-job pool fn
+// is deferred until the future's first Wait (on the calling goroutine);
+// otherwise it runs on a worker goroutine once a slot frees up. fn must not
+// Wait on other futures of the same pool (a job waiting on an unscheduled job
+// could deadlock a full pool); waiting belongs on the submitting goroutine.
+func Submit[T any](p *Pool, fn func() (T, error)) *Future[T] {
+	if p.sem == nil {
+		return &Future[T]{fn: fn}
+	}
+	f := &Future[T]{done: make(chan struct{})}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.val, f.err = fn()
+		close(f.done)
+	}()
+	return f
+}
+
+// Memo is a concurrency-safe, single-flight memoization table: the first
+// Get for a key submits the compute job, every later Get — concurrent or
+// not — receives the same future. The figures package uses it to run each
+// alone-IPC baseline exactly once per experiments invocation, no matter how
+// many figures (or concurrent weighted-speedup jobs) need it.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*Future[V]
+}
+
+// Get returns the future for key, submitting fn on p only on the first call.
+func (m *Memo[K, V]) Get(p *Pool, key K, fn func() (V, error)) *Future[V] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.m == nil {
+		m.m = make(map[K]*Future[V])
+	}
+	if f, ok := m.m[key]; ok {
+		return f
+	}
+	f := Submit(p, fn)
+	m.m[key] = f
+	return f
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialRunsLazilyAtWait(t *testing.T) {
+	p := Sequential()
+	if p.Jobs() != 1 {
+		t.Fatalf("Sequential pool has %d jobs", p.Jobs())
+	}
+	runs := 0
+	f := Submit(p, func() (int, error) { runs++; return 7, nil })
+	if runs != 0 {
+		t.Fatal("1-job pool must defer execution to Wait")
+	}
+	v, err := f.Wait()
+	if v != 7 || err != nil {
+		t.Fatalf("Wait = %d, %v", v, err)
+	}
+	if _, _ = f.Wait(); runs != 1 {
+		t.Fatalf("job ran %d times, want exactly once", runs)
+	}
+}
+
+func TestDefaultJobsIsGOMAXPROCS(t *testing.T) {
+	if New(0).Jobs() < 1 || New(-3).Jobs() < 1 {
+		t.Fatal("jobs < 1 must clamp to a positive bound")
+	}
+}
+
+func TestSubmissionOrderCollection(t *testing.T) {
+	p := New(8)
+	const n = 100
+	futs := make([]*Future[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = Submit(p, func() (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return i * i, nil
+		})
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil || v != i*i {
+			t.Fatalf("job %d: got %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	const bound = 3
+	p := New(bound)
+	var cur, peak int32
+	var futs []*Future[struct{}]
+	for i := 0; i < 20; i++ {
+		futs = append(futs, Submit(p, func() (struct{}, error) {
+			n := atomic.AddInt32(&cur, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+			return struct{}{}, nil
+		}))
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	if got := atomic.LoadInt32(&peak); got > bound {
+		t.Fatalf("observed %d concurrent jobs, bound %d", got, bound)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	f := Submit(p, func() (string, error) { return "", boom })
+	if _, err := f.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait err = %v, want boom", err)
+	}
+}
+
+func TestWaitIsReentrant(t *testing.T) {
+	p := New(4)
+	f := Submit(p, func() (int, error) { return 42, nil })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, _ := f.Wait(); v != 42 {
+				t.Error("re-entrant Wait returned wrong value")
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := f.Wait(); v != 42 {
+		t.Fatal("Wait after Waits returned wrong value")
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	p := New(8)
+	var memo Memo[string, int]
+	var computes int32
+	var futs []*Future[int]
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%d", i%4)
+		futs = append(futs, memo.Get(p, key, func() (int, error) {
+			atomic.AddInt32(&computes, 1)
+			time.Sleep(time.Millisecond)
+			return len(key), nil
+		}))
+	}
+	for _, f := range futs {
+		if v, err := f.Wait(); err != nil || v != 2 {
+			t.Fatalf("memo Wait = %d, %v", v, err)
+		}
+	}
+	if got := atomic.LoadInt32(&computes); got != 4 {
+		t.Fatalf("computed %d times, want exactly 4 (one per key)", got)
+	}
+}
+
+func TestResolved(t *testing.T) {
+	f := Resolved(3.5, nil)
+	if v, err := f.Wait(); v != 3.5 || err != nil {
+		t.Fatalf("Resolved Wait = %v, %v", v, err)
+	}
+}

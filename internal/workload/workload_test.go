@@ -291,3 +291,26 @@ func TestKindAndClassStrings(t *testing.T) {
 		t.Fatal("unknown enum values must print")
 	}
 }
+
+// TestNextDoesNotAllocate pins the generator hot path: after warmup, drawing
+// instructions allocates nothing — Instr is returned by value and the
+// generator state is all inline.
+func TestNextDoesNotAllocate(t *testing.T) {
+	a, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(a, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		g.Next() // settle any lazily built state
+	}
+	var sink Instr
+	avg := testing.AllocsPerRun(1000, func() { sink = g.Next() })
+	if avg != 0 {
+		t.Fatalf("Gen.Next allocates %v/op, want 0", avg)
+	}
+	_ = sink
+}
