@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"smtdram/internal/core"
+	"smtdram/internal/faults"
 	"smtdram/internal/figures"
 	"smtdram/internal/obs"
 	"smtdram/internal/report"
@@ -35,6 +36,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload seed")
 		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; output is identical for any value)")
 		verbose = flag.Bool("v", false, "print per-run progress")
+
+		faultSpec = flag.String("faults", "", "inject faults into every simulation (same spec as smtdram -faults); figure output then reflects the degraded machine")
 
 		traceDir   = flag.String("trace", "", "write one Chrome trace_event JSON per simulation run into this directory")
 		metricsOut = flag.String("metrics", "", "append every run's metrics to this file (JSON lines, runs separated by meta records)")
@@ -75,7 +78,20 @@ func main() {
 	if *verbose {
 		opts.Out = os.Stderr
 	}
-	opts.Configure = observeConfigurer(*traceDir, *metricsOut, *metricsInt)
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	observe := observeConfigurer(*traceDir, *metricsOut, *metricsInt)
+	if plan != nil || observe != nil {
+		opts.Configure = func(cfg *core.Config) {
+			cfg.Faults = plan
+			if observe != nil {
+				observe(cfg)
+			}
+		}
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {

@@ -22,6 +22,7 @@ import (
 	"smtdram/internal/core"
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
+	"smtdram/internal/faults"
 	"smtdram/internal/memctrl"
 	"smtdram/internal/obs"
 	"smtdram/internal/runner"
@@ -46,6 +47,8 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (used by -breakdown; 1 = sequential)")
 		brkdown  = flag.Bool("breakdown", false, "also attribute each app's CPI (proc/L2/L3/mem) on this machine via the paper's four-run method")
 		dump     = flag.Bool("dump-config", false, "print the Table 1 configuration and exit")
+
+		faultSpec = flag.String("faults", "", "fault-injection plan, e.g. 'bitflip:rate=1e-6,seed=7;channel-fail:ch=1,at=2000000;drop:rate=1e-7' (clauses: bitflip, drop, stuckrow, channel-fail, seed)")
 
 		traceOut   = flag.String("trace", "", "write a request-lifecycle trace to this file (.jsonl = JSON lines, anything else = Chrome trace_event JSON for Perfetto)")
 		metricsOut = flag.String("metrics", "", "write cycle-sampled metrics and final counters to this file (JSON lines)")
@@ -83,7 +86,9 @@ func main() {
 	cfg.Mem.PhysChannels = *channels
 	cfg.Mem.Gang = *gang
 
-	var err error
+	plan, err := faults.Parse(*faultSpec)
+	fatalIf(err)
+	cfg.Faults = plan
 	cfg.Mem.Kind, err = core.ParseDRAMKind(*dramKind)
 	fatalIf(err)
 	cfg.Mem.Policy, err = memctrl.ParsePolicy(*policy)
@@ -121,14 +126,14 @@ func main() {
 	// The main run and the optional breakdown runs are independent, so they
 	// all fan out on the pool; results are collected in submission order.
 	pool := runner.New(*jobs)
-	runFut := runner.Submit(pool, func() (core.Result, error) { return core.Run(cfg) })
+	runFut := runner.SubmitNamed(pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) })
 	var bdJobs [][4]*runner.Future[float64]
 	if *brkdown {
 		bdJobs = make([][4]*runner.Future[float64], len(names))
 		for i, app := range names {
 			for k, c := range core.CPIBreakdownConfigs(cfg, app) {
 				c.Observe = nil // the observer belongs to the main run only
-				bdJobs[i][k] = runner.Submit(pool, func() (float64, error) {
+				bdJobs[i][k] = runner.SubmitNamed(pool, c.Fingerprint(), func() (float64, error) {
 					r, err := core.Run(c)
 					if err != nil {
 						return 0, err
@@ -231,6 +236,18 @@ func report(cfg core.Config, res core.Result) {
 		res.MemReads, res.MemWrites, res.MemReadsPer100Inst, res.AvgReadLatency)
 	fmt.Printf("row buffer: %.1f%% miss (%d hits, %d closed, %d conflicts)\n",
 		100*res.RowBufferMissRate, res.RowHits, res.RowClosed, res.RowConflicts)
+	if f := res.Faults; f != nil {
+		fmt.Printf("faults: %d injected (%d bit flips, %d multi-bit, %d drops)\n",
+			f.Injected, f.BitFlips, f.MultiBit, f.Drops)
+		fmt.Printf("ecc: %d detected, %d corrected, %d uncorrected; retries: %d (%d gave up)\n",
+			f.Detected, f.Corrected, f.Uncorrected, f.Retries, f.RetryGiveUps)
+		if rep := res.Failover; rep != nil {
+			fmt.Printf("failover: channel %d failed at cycle %d, %d queued requests migrated\n",
+				rep.FailedChannel, rep.AtCycle, f.FailedOver)
+			fmt.Printf("  IPC %.3f -> %.3f, avg read latency %.0f -> %.0f cycles\n",
+				rep.PreIPC, rep.PostIPC, rep.PreAvgReadLat, rep.PostAvgReadLat)
+		}
+	}
 	fmt.Printf("caches:\n")
 	for _, c := range res.Caches {
 		fmt.Printf("  %-4s %10d accesses, %9d misses (%.1f%%), %8d writebacks\n",

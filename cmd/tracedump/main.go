@@ -28,6 +28,7 @@ import (
 
 	"smtdram/internal/analysis"
 	"smtdram/internal/core"
+	"smtdram/internal/faults"
 	"smtdram/internal/memctrl"
 	"smtdram/internal/obs"
 	"smtdram/internal/workload"
@@ -42,6 +43,7 @@ func main() {
 		target  = flag.Uint64("n", 100_000, "per-thread measured instructions")
 		seed    = flag.Int64("seed", 42, "workload seed")
 		summary = flag.Bool("summary", false, "print an aggregate analysis instead of the CSV")
+		faultSp = flag.String("faults", "", "fault-injection plan (same spec as smtdram -faults); fault/retry/failover milestones then appear in the lifecycle trace")
 
 		lifecycle = flag.Bool("lifecycle", false, "record the request-lifecycle trace instead of the CSV")
 		format    = flag.String("format", "pretty", "lifecycle output: pretty, jsonl, or chrome")
@@ -68,6 +70,8 @@ func main() {
 	cfg.WarmupInstr, cfg.TargetInstr, cfg.Seed = *warmup, *target, *seed
 	var err error
 	cfg.Mem.Policy, err = memctrl.ParsePolicy(*policy)
+	fatalIf(err)
+	cfg.Faults, err = faults.Parse(*faultSp)
 	fatalIf(err)
 
 	if *lifecycle {

@@ -12,6 +12,7 @@ import (
 	"smtdram/internal/cache"
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
+	"smtdram/internal/faults"
 	"smtdram/internal/memctrl"
 	"smtdram/internal/obs"
 )
@@ -156,6 +157,16 @@ type Config struct {
 	// MaxCycles bounds the simulation (0 = auto: 400 cycles/instruction).
 	MaxCycles uint64
 
+	// Faults, when non-nil and non-empty, attaches the fault-injection
+	// subsystem (see internal/faults): seeded transient bit flips, stuck
+	// rows, request drops, and a hard channel failure at a given cycle. Nil
+	// keeps the memory path byte-identical to a fault-free build.
+	Faults *faults.Plan
+	// WatchdogCycles is the no-progress bound: if no instruction commits for
+	// this many cycles the run aborts with a *NoProgressError instead of
+	// spinning to MaxCycles (0 = default 500 000).
+	WatchdogCycles uint64
+
 	// CPU is the core configuration (Table 1 defaults).
 	CPU cpu.Config
 	// Mem is the DRAM system configuration.
@@ -217,13 +228,31 @@ func (c Config) Validate() error {
 	if err := c.CPU.Validate(); err != nil {
 		return err
 	}
-	if _, err := c.Mem.Geometry(); err != nil {
+	geo, err := c.Mem.Geometry()
+	if err != nil {
 		return err
 	}
 	if _, err := c.Mem.Params(); err != nil {
 		return err
 	}
+	if err := c.Faults.Validate(geo.Channels); err != nil {
+		return err
+	}
 	return nil
+}
+
+// Fingerprint is a one-line deterministic description of the configuration,
+// attached to worker-panic errors so a crash in a parallel sweep identifies
+// the exact run that died.
+func (c Config) Fingerprint() string {
+	fp := fmt.Sprintf("apps=%s seed=%d warm=%d target=%d mem=%s-%dch-g%d %s %s %s",
+		strings.Join(c.Apps, "+"), c.Seed, c.WarmupInstr, c.TargetInstr,
+		c.Mem.Kind, c.Mem.PhysChannels, c.Mem.Gang,
+		c.Mem.PageMode, c.Mem.Scheme, c.Mem.Policy)
+	if !c.Faults.Empty() {
+		fp += " faults=" + c.Faults.String()
+	}
+	return fp
 }
 
 func (c Config) maxCycles() uint64 {

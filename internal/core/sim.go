@@ -7,6 +7,7 @@ import (
 	"smtdram/internal/cache"
 	"smtdram/internal/cpu"
 	"smtdram/internal/event"
+	"smtdram/internal/faults"
 	"smtdram/internal/memctrl"
 	"smtdram/internal/obs"
 	"smtdram/internal/stats"
@@ -52,6 +53,58 @@ type Result struct {
 
 	// Cache results, L1I/L1D/L2/L3 order.
 	Caches []CacheSnapshot
+
+	// Faults summarizes fault injection and the resilience machinery's
+	// response (nil on fault-free runs).
+	Faults *FaultReport
+	// Failover reports the throughput/latency degradation around a
+	// mid-run hard channel failure (nil when no channel failed).
+	Failover *FailoverReport
+}
+
+// FaultReport is the end-of-run fault accounting. The contract is exact:
+// Injected == Corrected + Uncorrected + Drops.
+type FaultReport struct {
+	// Injected faults by class (what the injector did).
+	Injected, BitFlips, MultiBit, Drops uint64
+	// SEC-DED decoder verdicts (what the ECC saw).
+	Detected, Corrected, Uncorrected uint64
+	// Controller response: backoff re-queues, reads delivered after
+	// exhausting retries, and requests migrated off a failed channel.
+	Retries, RetryGiveUps, FailedOver uint64
+}
+
+// FailoverReport measures the cost of losing a channel mid-run: whole-machine
+// IPC and mean DRAM read latency before the failure cycle versus after it.
+type FailoverReport struct {
+	// FailedChannel is the hard-failed logical channel.
+	FailedChannel int
+	// AtCycle is the cycle the failover executed.
+	AtCycle uint64
+	// PreIPC and PostIPC are committed instructions per cycle summed over
+	// threads, before and after the failure.
+	PreIPC, PostIPC float64
+	// PreAvgReadLat and PostAvgReadLat are the mean DRAM read latencies in
+	// cycles on each side of the failure.
+	PreAvgReadLat, PostAvgReadLat float64
+}
+
+// NoProgressError is returned by Run when the watchdog trips: no instruction
+// committed on any thread for Window consecutive cycles. It distinguishes a
+// livelocked machine (a bug or a pathological configuration) from a slow one,
+// which would otherwise burn the full MaxCycles budget before surfacing.
+type NoProgressError struct {
+	// Cycle is when the watchdog gave up.
+	Cycle uint64
+	// Window is the no-commit bound that was exceeded.
+	Window uint64
+	// Committed is the total instruction count, frozen since the livelock.
+	Committed uint64
+}
+
+func (e *NoProgressError) Error() string {
+	return fmt.Sprintf("core: no instruction committed in %d cycles (watchdog at cycle %d, %d committed total)",
+		e.Window, e.Cycle, e.Committed)
 }
 
 // TotalIPC is the sum of per-thread IPCs (the throughput metric).
@@ -74,6 +127,16 @@ type Simulator struct {
 	l2   *cache.Level
 	l3   *cache.Level
 	obs  *obs.Observer
+	fsn  *failSnap
+}
+
+// failSnap freezes the counters the failover report needs at the cycle the
+// channel failure executed.
+type failSnap struct {
+	atCycle   uint64
+	committed uint64
+	reads     uint64
+	latSum    uint64
 }
 
 // Observer returns the run's observability attachment (nil when disabled).
@@ -111,6 +174,7 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		Trace:            cfg.Mem.Trace,
 		Obs:              s.obs,
 		Threads:          len(cfg.Apps),
+		Injector:         faults.NewInjector(cfg.Faults),
 	})
 	if err != nil {
 		return nil, err
@@ -208,6 +272,12 @@ func (s *Simulator) takeSnapshot(now uint64) snapshot {
 // only the post-warmup window.
 func (s *Simulator) Run() (Result, error) {
 	limit := s.cfg.maxCycles()
+	wd := s.cfg.WatchdogCycles
+	if wd == 0 {
+		wd = 500_000
+	}
+	watchFail := s.cfg.Faults != nil && s.cfg.Faults.ChannelFail != nil
+	var lastCommitted, lastProgress uint64
 	var now uint64
 	var sn snapshot
 	if s.cfg.WarmupInstr == 0 {
@@ -218,6 +288,26 @@ func (s *Simulator) Run() (Result, error) {
 		s.cpu.Tick(now)
 		if s.obs != nil {
 			s.obs.OnCycle(now, s.q.Fired())
+		}
+		// Progress watchdog: a machine that commits nothing for wd cycles is
+		// livelocked, not slow — abort with a structured error instead of
+		// burning the remaining MaxCycles budget.
+		if now&1023 == 0 {
+			if c := s.cpu.TotalCommitted; c != lastCommitted {
+				lastCommitted, lastProgress = c, now
+			} else if now-lastProgress >= wd {
+				s.ctrl.FinishStats(now)
+				if s.obs != nil {
+					s.obs.Finish(now)
+				}
+				return Result{}, &NoProgressError{Cycle: now, Window: wd, Committed: c}
+			}
+		}
+		if watchFail && s.fsn == nil {
+			if _, at := s.ctrl.Failover(); at > 0 {
+				s.fsn = &failSnap{atCycle: now, committed: s.cpu.TotalCommitted,
+					reads: s.ctrl.Stats.Reads, latSum: s.ctrl.Stats.ReadLatencySum}
+			}
 		}
 		if !sn.taken && s.cpu.AllWarmed() {
 			s.ctrl.FinishStats(now)
@@ -316,6 +406,33 @@ func (s *Simulator) collect(now uint64, sn snapshot) (Result, error) {
 			Writebacks: l.Stats.Writebacks - base.Writebacks,
 			MissRate:   mr,
 		})
+	}
+
+	if inj := s.ctrl.Injector(); inj != nil {
+		ecc := s.ctrl.ECCStats()
+		r.Faults = &FaultReport{
+			Injected: inj.Stats.Total(), BitFlips: inj.Stats.BitFlips,
+			MultiBit: inj.Stats.MultiBit, Drops: inj.Stats.Drops,
+			Detected: ecc.Detected, Corrected: ecc.Corrected, Uncorrected: ecc.Uncorrected,
+			Retries: st.Retries, RetryGiveUps: st.RetryGiveUps, FailedOver: st.FailedOver,
+		}
+		if ch, at := s.ctrl.Failover(); at > 0 && s.fsn != nil {
+			f := s.fsn
+			rep := &FailoverReport{FailedChannel: ch, AtCycle: at}
+			if f.atCycle > 0 {
+				rep.PreIPC = float64(f.committed) / float64(f.atCycle)
+			}
+			if now > f.atCycle {
+				rep.PostIPC = float64(s.cpu.TotalCommitted-f.committed) / float64(now-f.atCycle)
+			}
+			if f.reads > 0 {
+				rep.PreAvgReadLat = float64(f.latSum) / float64(f.reads)
+			}
+			if dr := st.Reads - f.reads; dr > 0 {
+				rep.PostAvgReadLat = float64(st.ReadLatencySum-f.latSum) / float64(dr)
+			}
+			r.Failover = rep
+		}
 	}
 	return r, nil
 }

@@ -1,0 +1,92 @@
+package dram
+
+import "fmt"
+
+// This file models the SEC-DED (single-error-correct, double-error-detect)
+// ECC that protects each DRAM channel. The code word is the standard
+// Hamming(72,64)+parity used by x72 DIMMs: 64 data bits carry 8 check bits,
+// giving a minimum distance of 4. The decoder's decision table is
+//
+//	syndrome == 0, parity ok    → clean word
+//	syndrome != 0, parity flip  → single-bit error: correctable
+//	syndrome != 0, parity ok    → double-bit (or worse) error: detected,
+//	                              uncorrectable (DUE)
+//
+// The simulator carries no data payloads, so the decoder is driven by the
+// injected fault severity rather than real syndromes; the classification —
+// the part that shapes performance — is exact. Correction itself is
+// combinational in the DIMM's data path and is absorbed into CL, so a
+// corrected error costs no extra cycles; an uncorrectable error costs a
+// controller retry (see memctrl).
+
+// Severity is the raw damage an access's code word sustained.
+type Severity int
+
+const (
+	// ErrNone: the code word is clean.
+	ErrNone Severity = iota
+	// ErrSingleBit: exactly one flipped bit.
+	ErrSingleBit
+	// ErrMultiBit: two or more flipped bits (stuck-at rows, multi-cell
+	// upsets).
+	ErrMultiBit
+)
+
+// Verdict is the SEC-DED decoder's decision for one access.
+type Verdict int
+
+const (
+	// VerdictOK: clean word, data delivered.
+	VerdictOK Verdict = iota
+	// VerdictCorrected: single-bit error repaired in-line; data delivered.
+	VerdictCorrected
+	// VerdictUncorrected: detected-uncorrectable error; data must not be
+	// consumed — the controller retries or reports the loss.
+	VerdictUncorrected
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictCorrected:
+		return "corrected"
+	case VerdictUncorrected:
+		return "uncorrected"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// ECCStats counts decoder outcomes. Detected == Corrected + Uncorrected.
+type ECCStats struct {
+	// Detected is the number of accesses whose syndrome was non-zero.
+	Detected uint64
+	// Corrected counts single-bit errors repaired in-line.
+	Corrected uint64
+	// Uncorrected counts detected-uncorrectable errors.
+	Uncorrected uint64
+}
+
+// ECC is one channel's SEC-DED decoder.
+type ECC struct {
+	// Stats accumulates decoder outcomes over the run.
+	Stats ECCStats
+}
+
+// Scrub runs the decoder over one access's code word, classifying and
+// counting the injected severity.
+func (e *ECC) Scrub(s Severity) Verdict {
+	switch s {
+	case ErrSingleBit:
+		e.Stats.Detected++
+		e.Stats.Corrected++
+		return VerdictCorrected
+	case ErrMultiBit:
+		e.Stats.Detected++
+		e.Stats.Uncorrected++
+		return VerdictUncorrected
+	default:
+		return VerdictOK
+	}
+}

@@ -1,0 +1,47 @@
+package dram
+
+import "testing"
+
+func TestECCScrubClassification(t *testing.T) {
+	var e ECC
+	if v := e.Scrub(ErrNone); v != VerdictOK {
+		t.Fatalf("clean word: %v", v)
+	}
+	if v := e.Scrub(ErrSingleBit); v != VerdictCorrected {
+		t.Fatalf("single-bit: %v", v)
+	}
+	if v := e.Scrub(ErrMultiBit); v != VerdictUncorrected {
+		t.Fatalf("multi-bit: %v", v)
+	}
+	want := ECCStats{Detected: 2, Corrected: 1, Uncorrected: 1}
+	if e.Stats != want {
+		t.Fatalf("stats = %+v, want %+v", e.Stats, want)
+	}
+}
+
+func TestECCDetectedSumsCorrectedAndUncorrected(t *testing.T) {
+	var e ECC
+	severities := []Severity{ErrSingleBit, ErrMultiBit, ErrNone, ErrSingleBit,
+		ErrSingleBit, ErrMultiBit, ErrNone}
+	for _, s := range severities {
+		e.Scrub(s)
+	}
+	if e.Stats.Detected != e.Stats.Corrected+e.Stats.Uncorrected {
+		t.Fatalf("Detected %d != Corrected %d + Uncorrected %d",
+			e.Stats.Detected, e.Stats.Corrected, e.Stats.Uncorrected)
+	}
+	if e.Stats.Corrected != 3 || e.Stats.Uncorrected != 2 {
+		t.Fatalf("stats = %+v", e.Stats)
+	}
+}
+
+func TestChannelCarriesECC(t *testing.T) {
+	c, err := NewChannel(DDRParams(16, 64, OpenPage), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ECC.Scrub(ErrSingleBit)
+	if c.ECC.Stats.Corrected != 1 {
+		t.Fatalf("channel ECC stats = %+v", c.ECC.Stats)
+	}
+}

@@ -1,0 +1,318 @@
+// Package faults is the deterministic fault-injection subsystem: a Plan
+// (parsed from the -faults CLI spec) describes which DRAM-system faults a run
+// should experience, and an Injector executes the plan with a seeded
+// generator so that two runs of the same spec are byte-identical.
+//
+// Four fault classes are modeled, matching where real memory systems degrade:
+//
+//   - bitflip: transient single-bit flips on DRAM reads (cosmic-ray upsets),
+//     correctable by SEC-DED ECC;
+//   - stuckrow: a hard stuck-at fault pinned to one DRAM row — every read of
+//     it returns a multi-bit error, which SEC-DED detects but cannot correct;
+//   - drop: requests lost inside the controller (timeout/CRC-fail on the
+//     link), recovered by bounded retry with exponential backoff;
+//   - channel-fail: a whole channel dies at a given cycle; traffic fails
+//     over to the surviving channels via the degraded address remap.
+//
+// The spec grammar is semicolon-separated clauses of comma-separated k=v
+// pairs, e.g.:
+//
+//	bitflip:rate=1e-6,seed=7;channel-fail:ch=1,at=2000000;drop:rate=1e-7
+//	stuckrow:ch=0,chip=0,bank=1,row=42;bitflip:rate=1e-5
+//
+// The package is a leaf below dram/memctrl/core: it imports nothing from the
+// simulator, so every layer can consume a Plan or an Injector.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StuckRow pins a permanent multi-bit fault to one DRAM row.
+type StuckRow struct {
+	Channel, Chip, Bank int
+	Row                 uint64
+}
+
+// ChannelFail kills a whole logical channel at a given cycle.
+type ChannelFail struct {
+	// Channel is the logical channel index that dies.
+	Channel int
+	// At is the cycle the failure strikes.
+	At uint64
+}
+
+// Plan is a parsed fault-injection specification. The zero Plan injects
+// nothing; a nil *Plan disables the subsystem entirely (and is what every
+// fault-free run carries, so the hot path pays only nil checks).
+type Plan struct {
+	// BitFlipRate is the per-read probability of a transient single-bit
+	// flip (ECC-correctable).
+	BitFlipRate float64
+	// DropRate is the per-read probability that the request's data is lost
+	// in the controller and must be retried.
+	DropRate float64
+	// Seed drives the injector's generator (default 1).
+	Seed uint64
+	// Stuck lists permanently faulty rows (reads are ECC-uncorrectable).
+	Stuck []StuckRow
+	// ChannelFail, when non-nil, is the hard channel failure.
+	ChannelFail *ChannelFail
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.BitFlipRate == 0 && p.DropRate == 0 &&
+		len(p.Stuck) == 0 && p.ChannelFail == nil)
+}
+
+// Validate checks the plan against the machine it will run on. channels is
+// the logical channel count of the DRAM system.
+func (p *Plan) Validate(channels int) error {
+	if p == nil {
+		return nil
+	}
+	if p.BitFlipRate < 0 || p.BitFlipRate > 1 {
+		return fmt.Errorf("faults: bitflip rate %g outside [0,1]", p.BitFlipRate)
+	}
+	if p.DropRate < 0 || p.DropRate > 1 {
+		return fmt.Errorf("faults: drop rate %g outside [0,1]", p.DropRate)
+	}
+	if p.BitFlipRate+p.DropRate > 1 {
+		return fmt.Errorf("faults: bitflip rate %g + drop rate %g exceeds 1", p.BitFlipRate, p.DropRate)
+	}
+	for _, s := range p.Stuck {
+		if s.Channel < 0 || s.Channel >= channels {
+			return fmt.Errorf("faults: stuck row channel %d out of range (%d channels)", s.Channel, channels)
+		}
+		if s.Chip < 0 || s.Bank < 0 {
+			return fmt.Errorf("faults: negative stuck row location %+v", s)
+		}
+	}
+	if f := p.ChannelFail; f != nil {
+		if f.Channel < 0 || f.Channel >= channels {
+			return fmt.Errorf("faults: failing channel %d out of range (%d channels)", f.Channel, channels)
+		}
+		if channels < 2 {
+			return fmt.Errorf("faults: cannot fail channel %d of a %d-channel system (no survivor to fail over to)", f.Channel, channels)
+		}
+		if f.At == 0 {
+			return fmt.Errorf("faults: channel-fail cycle must be positive")
+		}
+	}
+	return nil
+}
+
+// String renders the plan in canonical spec form (clauses in a fixed order),
+// suitable for labels and round-tripping through Parse.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.BitFlipRate > 0 {
+		parts = append(parts, fmt.Sprintf("bitflip:rate=%g", p.BitFlipRate))
+	}
+	if p.DropRate > 0 {
+		parts = append(parts, fmt.Sprintf("drop:rate=%g", p.DropRate))
+	}
+	stuck := append([]StuckRow(nil), p.Stuck...)
+	sort.Slice(stuck, func(i, j int) bool {
+		a, b := stuck[i], stuck[j]
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.Chip != b.Chip {
+			return a.Chip < b.Chip
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		return a.Row < b.Row
+	})
+	for _, s := range stuck {
+		parts = append(parts, fmt.Sprintf("stuckrow:ch=%d,chip=%d,bank=%d,row=%d", s.Channel, s.Chip, s.Bank, s.Row))
+	}
+	if f := p.ChannelFail; f != nil {
+		parts = append(parts, fmt.Sprintf("channel-fail:ch=%d,at=%d", f.Channel, f.At))
+	}
+	if p.Seed != 0 && p.Seed != 1 {
+		parts = append(parts, fmt.Sprintf("seed:v=%d", p.Seed))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a Plan from a -faults spec. An empty spec returns (nil, nil):
+// no plan, no injection, no overhead.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(clause, ":")
+		kind = strings.ToLower(strings.TrimSpace(kind))
+		kv, err := parseKV(kind, rest)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "bitflip":
+			if p.BitFlipRate, err = kv.rate("rate"); err != nil {
+				return nil, err
+			}
+			if err := kv.seed(p); err != nil {
+				return nil, err
+			}
+		case "drop":
+			if p.DropRate, err = kv.rate("rate"); err != nil {
+				return nil, err
+			}
+			if err := kv.seed(p); err != nil {
+				return nil, err
+			}
+		case "stuckrow":
+			var s StuckRow
+			if s.Channel, err = kv.num("ch"); err != nil {
+				return nil, err
+			}
+			s.Chip, _ = kv.numDefault("chip", 0)
+			s.Bank, _ = kv.numDefault("bank", 0)
+			row, err := kv.u64("row")
+			if err != nil {
+				return nil, err
+			}
+			s.Row = row
+			p.Stuck = append(p.Stuck, s)
+		case "channel-fail":
+			if p.ChannelFail != nil {
+				return nil, fmt.Errorf("faults: more than one channel-fail clause")
+			}
+			var f ChannelFail
+			if f.Channel, err = kv.num("ch"); err != nil {
+				return nil, err
+			}
+			if f.At, err = kv.u64("at"); err != nil {
+				return nil, err
+			}
+			p.ChannelFail = &f
+		case "seed":
+			if err := kv.seed(p); err != nil {
+				return nil, err
+			}
+			if v, ok := kv.m["v"]; ok {
+				s, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: seed %q: %v", v, err)
+				}
+				p.Seed = s
+				delete(kv.m, "v")
+			}
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q (want bitflip, drop, stuckrow, channel-fail, or seed)", kind)
+		}
+		if err := kv.leftover(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// kvSet is one clause's key=value pairs; accessors delete consumed keys so
+// leftover() can reject typos.
+type kvSet struct {
+	clause string
+	m      map[string]string
+}
+
+func parseKV(clause, rest string) (*kvSet, error) {
+	kv := &kvSet{clause: clause, m: map[string]string{}}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %s: %q is not key=value", clause, pair)
+		}
+		kv.m[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return kv, nil
+}
+
+func (kv *kvSet) rate(key string) (float64, error) {
+	v, ok := kv.m[key]
+	if !ok {
+		return 0, fmt.Errorf("faults: %s: missing %s=", kv.clause, key)
+	}
+	delete(kv.m, key)
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s: %s=%q: %v", kv.clause, key, v, err)
+	}
+	return f, nil
+}
+
+func (kv *kvSet) num(key string) (int, error) {
+	v, ok := kv.m[key]
+	if !ok {
+		return 0, fmt.Errorf("faults: %s: missing %s=", kv.clause, key)
+	}
+	delete(kv.m, key)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s: %s=%q: %v", kv.clause, key, v, err)
+	}
+	return n, nil
+}
+
+func (kv *kvSet) numDefault(key string, def int) (int, error) {
+	if _, ok := kv.m[key]; !ok {
+		return def, nil
+	}
+	return kv.num(key)
+}
+
+func (kv *kvSet) u64(key string) (uint64, error) {
+	v, ok := kv.m[key]
+	if !ok {
+		return 0, fmt.Errorf("faults: %s: missing %s=", kv.clause, key)
+	}
+	delete(kv.m, key)
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s: %s=%q: %v", kv.clause, key, v, err)
+	}
+	return n, nil
+}
+
+// seed consumes an optional seed= key (allowed in any clause; last one wins).
+func (kv *kvSet) seed(p *Plan) error {
+	v, ok := kv.m["seed"]
+	if !ok {
+		return nil
+	}
+	delete(kv.m, "seed")
+	s, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return fmt.Errorf("faults: %s: seed=%q: %v", kv.clause, v, err)
+	}
+	p.Seed = s
+	return nil
+}
+
+func (kv *kvSet) leftover() error {
+	for k := range kv.m {
+		return fmt.Errorf("faults: %s: unknown key %q", kv.clause, k)
+	}
+	return nil
+}

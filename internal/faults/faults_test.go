@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEmptySpecIsNilPlan(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || p != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", p, err)
+	}
+	if !p.Empty() {
+		t.Fatal("nil plan must be Empty")
+	}
+	if NewInjector(p) != nil {
+		t.Fatal("nil plan must build a nil injector")
+	}
+}
+
+func TestParseFullSpec(t *testing.T) {
+	p, err := Parse("bitflip:rate=1e-6,seed=7;channel-fail:ch=1,at=2000000;drop:rate=1e-7;stuckrow:ch=0,bank=1,row=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitFlipRate != 1e-6 || p.DropRate != 1e-7 || p.Seed != 7 {
+		t.Fatalf("rates/seed = %g/%g/%d", p.BitFlipRate, p.DropRate, p.Seed)
+	}
+	if p.ChannelFail == nil || p.ChannelFail.Channel != 1 || p.ChannelFail.At != 2000000 {
+		t.Fatalf("channel-fail = %+v", p.ChannelFail)
+	}
+	want := StuckRow{Channel: 0, Chip: 0, Bank: 1, Row: 42}
+	if len(p.Stuck) != 1 || p.Stuck[0] != want {
+		t.Fatalf("stuck = %+v", p.Stuck)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"frobnicate:rate=1",     // unknown clause
+		"bitflip:rate=abc",      // bad float
+		"bitflip:rate=1,oops=2", // unknown key
+		"bitflip:rate",          // not key=value
+		"channel-fail:ch=0",     // missing at=
+		"stuckrow:row=1",        // missing ch=
+		"channel-fail:ch=0,at=1;channel-fail:ch=1,at=2", // duplicate
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	p, err := Parse("drop:rate=0.25;bitflip:rate=0.5,seed=9;stuckrow:ch=1,row=3;channel-fail:ch=0,at=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip changed the plan: %q -> %q", p.String(), p2.String())
+	}
+	if p2.Seed != 9 || p2.BitFlipRate != 0.5 || p2.DropRate != 0.25 || p2.ChannelFail == nil {
+		t.Fatalf("round trip lost fields: %+v", p2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Plan{BitFlipRate: 2}).Validate(2); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (&Plan{BitFlipRate: 0.6, DropRate: 0.6}).Validate(2); err == nil {
+		t.Error("rates summing past 1 accepted")
+	}
+	if err := (&Plan{ChannelFail: &ChannelFail{Channel: 2, At: 5}}).Validate(2); err == nil {
+		t.Error("out-of-range failing channel accepted")
+	}
+	if err := (&Plan{ChannelFail: &ChannelFail{Channel: 0, At: 5}}).Validate(1); err == nil {
+		t.Error("channel-fail with no survivor accepted")
+	}
+	if err := (&Plan{Stuck: []StuckRow{{Channel: 5}}}).Validate(2); err == nil {
+		t.Error("out-of-range stuck channel accepted")
+	}
+	ok := &Plan{BitFlipRate: 1e-6, DropRate: 1e-7, Seed: 3,
+		Stuck:       []StuckRow{{Channel: 1, Bank: 2, Row: 7}},
+		ChannelFail: &ChannelFail{Channel: 1, At: 100}}
+	if err := ok.Validate(2); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := &Plan{BitFlipRate: 0.3, DropRate: 0.1, Seed: 42}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 10_000; i++ {
+		fa := a.OnRead(0, 0, i%4, uint64(i))
+		fb := b.OnRead(0, 0, i%4, uint64(i))
+		if fa != fb {
+			t.Fatalf("read %d: %v vs %v with identical seeds", i, fa, fb)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.Total() != a.Stats.BitFlips+a.Stats.MultiBit+a.Stats.Drops {
+		t.Fatal("Total does not sum the classes")
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	in := NewInjector(&Plan{BitFlipRate: 0.5, DropRate: 0.25, Seed: 1})
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		in.OnRead(0, 0, 0, uint64(i))
+	}
+	flip := float64(in.Stats.BitFlips) / n
+	drop := float64(in.Stats.Drops) / n
+	if flip < 0.48 || flip > 0.52 {
+		t.Errorf("bit-flip rate %.3f far from 0.5", flip)
+	}
+	if drop < 0.23 || drop > 0.27 {
+		t.Errorf("drop rate %.3f far from 0.25", drop)
+	}
+}
+
+func TestStuckRowAlwaysFaults(t *testing.T) {
+	in := NewInjector(&Plan{Stuck: []StuckRow{{Channel: 1, Chip: 0, Bank: 2, Row: 9}}})
+	for i := 0; i < 100; i++ {
+		if f := in.OnRead(1, 0, 2, 9); f != FaultMultiBit {
+			t.Fatalf("stuck row read %d: %v", i, f)
+		}
+		if f := in.OnRead(1, 0, 2, 10); f != FaultNone {
+			t.Fatalf("healthy row read %d: %v", i, f)
+		}
+	}
+	if in.Stats.MultiBit != 100 {
+		t.Fatalf("MultiBit = %d, want 100", in.Stats.MultiBit)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if f := in.OnRead(0, 0, 0, 0); f != FaultNone {
+		t.Fatalf("nil injector injected %v", f)
+	}
+	if ch, at := in.ChannelFailAt(); ch != -1 || at != 0 {
+		t.Fatalf("nil injector reports failover (%d, %d)", ch, at)
+	}
+	if in.Plan() != nil {
+		t.Fatal("nil injector has a plan")
+	}
+}
+
+func TestChannelFailAt(t *testing.T) {
+	in := NewInjector(&Plan{ChannelFail: &ChannelFail{Channel: 1, At: 777}})
+	ch, at := in.ChannelFailAt()
+	if ch != 1 || at != 777 {
+		t.Fatalf("ChannelFailAt = (%d, %d)", ch, at)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	mk := func(seed uint64) string {
+		in := NewInjector(&Plan{BitFlipRate: 0.5, Seed: seed})
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.OnRead(0, 0, 0, uint64(i)) == FaultSingleBit {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		return sb.String()
+	}
+	if mk(1) == mk(2) {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}

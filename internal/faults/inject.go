@@ -1,0 +1,146 @@
+package faults
+
+import "fmt"
+
+// Fault classifies what (if anything) the injector did to one DRAM read.
+type Fault int
+
+const (
+	// FaultNone: the read completed clean.
+	FaultNone Fault = iota
+	// FaultSingleBit: a transient single-bit flip — SEC-DED corrects it.
+	FaultSingleBit
+	// FaultMultiBit: a multi-bit (stuck-at) error — SEC-DED detects it but
+	// cannot correct; the controller must retry or give up.
+	FaultMultiBit
+	// FaultDrop: the request's data was lost in the controller; the
+	// controller must retry.
+	FaultDrop
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSingleBit:
+		return "single-bit"
+	case FaultMultiBit:
+		return "multi-bit"
+	case FaultDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Stats counts what the injector actually injected. The accounting contract
+// is exact: every injected fault receives one disposition downstream
+// (corrected, uncorrected, or dropped-retried), so
+//
+//	BitFlips + MultiBit + Drops == corrected + uncorrected + dropped.
+type Stats struct {
+	// BitFlips is the number of transient single-bit flips injected.
+	BitFlips uint64
+	// MultiBit is the number of reads that hit a stuck row.
+	MultiBit uint64
+	// Drops is the number of requests whose data was discarded.
+	Drops uint64
+}
+
+// Total is the number of fault events injected.
+func (s Stats) Total() uint64 { return s.BitFlips + s.MultiBit + s.Drops }
+
+// Injector executes a Plan. It is built once per simulation and consumed
+// single-threaded (the simulator's event loop), drawing exactly one random
+// per read so the fault stream is a pure function of (plan, read order) —
+// which is itself deterministic — and therefore identical across runs and
+// at any -jobs value.
+type Injector struct {
+	plan  *Plan
+	rng   uint64
+	stuck map[StuckRow]struct{}
+
+	// Stats counts injected faults by class.
+	Stats Stats
+}
+
+// NewInjector builds an injector for the plan; a nil or empty plan returns
+// nil, and a nil *Injector injects nothing.
+func NewInjector(p *Plan) *Injector {
+	if p.Empty() {
+		return nil
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in := &Injector{plan: p, rng: seed}
+	if len(p.Stuck) > 0 {
+		in.stuck = make(map[StuckRow]struct{}, len(p.Stuck))
+		for _, s := range p.Stuck {
+			in.stuck[s] = struct{}{}
+		}
+	}
+	return in
+}
+
+// Plan returns the injector's plan (nil for a nil injector).
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
+// ChannelFailAt returns the channel-fail clause's (channel, cycle), or
+// (-1, 0) when the plan has none.
+func (in *Injector) ChannelFailAt() (channel int, at uint64) {
+	if in == nil || in.plan.ChannelFail == nil {
+		return -1, 0
+	}
+	return in.plan.ChannelFail.Channel, in.plan.ChannelFail.At
+}
+
+// next is a splitmix64 step: a full-period, statistically strong 64-bit
+// generator in three lines, with no shared state and no allocation.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextFloat returns a uniform draw in [0, 1).
+func (in *Injector) nextFloat() float64 {
+	return float64(in.next()>>11) / (1 << 53)
+}
+
+// OnRead decides the fate of one DRAM read of (channel, chip, bank, row).
+// Stuck rows always fault; otherwise one uniform draw selects drop, bit
+// flip, or a clean read. Nil-safe.
+func (in *Injector) OnRead(channel, chip, bank int, row uint64) Fault {
+	if in == nil {
+		return FaultNone
+	}
+	if in.stuck != nil {
+		if _, ok := in.stuck[StuckRow{Channel: channel, Chip: chip, Bank: bank, Row: row}]; ok {
+			in.Stats.MultiBit++
+			return FaultMultiBit
+		}
+	}
+	if in.plan.DropRate == 0 && in.plan.BitFlipRate == 0 {
+		return FaultNone
+	}
+	p := in.nextFloat()
+	switch {
+	case p < in.plan.DropRate:
+		in.Stats.Drops++
+		return FaultDrop
+	case p < in.plan.DropRate+in.plan.BitFlipRate:
+		in.Stats.BitFlips++
+		return FaultSingleBit
+	default:
+		return FaultNone
+	}
+}

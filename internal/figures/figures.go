@@ -143,7 +143,7 @@ type wsJob struct {
 // wsJob.Wait on the submitting goroutine, per the runner deadlock rule.
 func (r *figRun) submitWS(cfg core.Config) wsJob {
 	j := wsJob{
-		run: runner.Submit(r.pool, func() (core.Result, error) { return core.Run(cfg) }),
+		run: runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) }),
 	}
 	for _, app := range cfg.Apps {
 		j.alone = append(j.alone, r.baseline(app))
@@ -208,7 +208,7 @@ func Fig1(o Options) ([]Fig1Row, error) {
 	jobs := make([][4]*runner.Future[float64], len(apps))
 	for i, app := range apps {
 		for k, cfg := range core.CPIBreakdownConfigs(o.baseConfig(app), app) {
-			jobs[i][k] = runner.Submit(r.pool, func() (float64, error) {
+			jobs[i][k] = runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (float64, error) {
 				res, err := core.Run(cfg)
 				if err != nil {
 					return 0, err
@@ -399,7 +399,7 @@ func Fig4and5(o Options) ([]ConcurrencyRow, error) {
 	futs := make([]*runner.Future[core.Result], len(mixes))
 	for i, m := range mixes {
 		cfg := o.baseConfig(m.Apps...)
-		futs[i] = runner.Submit(r.pool, func() (core.Result, error) { return core.Run(cfg) })
+		futs[i] = runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) })
 	}
 	var out []ConcurrencyRow
 	for i, m := range mixes {
@@ -620,7 +620,7 @@ func figMapping(o Options, kind core.DRAMKind) ([]MappingRow, error) {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.Mem.Kind = kind
 			cfg.Mem.Scheme = scheme
-			jobs[i][k] = runner.Submit(r.pool, func() (core.Result, error) { return core.Run(cfg) })
+			jobs[i][k] = runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) })
 		}
 	}
 	var out []MappingRow

@@ -12,6 +12,7 @@ import (
 	"smtdram/internal/addrmap"
 	"smtdram/internal/dram"
 	"smtdram/internal/event"
+	"smtdram/internal/faults"
 	"smtdram/internal/mem"
 	"smtdram/internal/obs"
 )
@@ -116,6 +117,18 @@ type Config struct {
 	Obs *obs.Observer
 	// Threads is the number of hardware threads (for per-thread stats).
 	Threads int
+	// Injector, when non-nil, is the fault-injection subsystem: reads may
+	// come back with ECC errors or be dropped, and a channel may hard-fail
+	// mid-run. Nil (every fault-free run) costs one pointer check per read.
+	Injector *faults.Injector
+	// MaxRetries bounds how many times a dropped or ECC-uncorrectable read
+	// is re-queued before the controller gives up and surfaces the loss
+	// (default 3).
+	MaxRetries int
+	// RetryBackoff is the base delay in cycles before the first retry;
+	// attempt n waits RetryBackoff << (n-1), capped at six doublings
+	// (default 16).
+	RetryBackoff uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -131,7 +144,38 @@ func (c Config) withDefaults() Config {
 	if c.Threads == 0 {
 		c.Threads = 1
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 16
+	}
 	return c
+}
+
+// Validate rejects incoherent controller configurations: a broken mapper
+// (zero channels, non-power-of-two interleave units, failover target out of
+// range), negative queue/window/retry bounds, or a fault plan that does not
+// fit the geometry. core calls this during machine assembly; New also calls
+// it, so hand-built controllers get the same checks.
+func (c Config) Validate() error {
+	if err := c.Mapper.Validate(); err != nil {
+		return err
+	}
+	if c.QueueDepth < 0 || c.MaxInFlight < 0 || c.AgeThreshold < 0 {
+		return fmt.Errorf("memctrl: negative queue/window bound (depth %d, in-flight %d, age %d)",
+			c.QueueDepth, c.MaxInFlight, c.AgeThreshold)
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("memctrl: negative thread count %d", c.Threads)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("memctrl: negative retry bound %d", c.MaxRetries)
+	}
+	if err := c.Injector.Plan().Validate(c.Mapper.Geo.Channels); err != nil {
+		return err
+	}
+	return nil
 }
 
 // TraceEvent describes one serviced DRAM request.
@@ -164,19 +208,36 @@ type entry struct {
 	loc          addrmap.Loc
 	seq          uint64
 	queuedBehind int
+	attempt      uint8 // fault retries consumed so far
+	backoff      bool  // entry is waiting out a retry backoff delay
 
 	ctrl *Controller
 	cc   *channelCtl // dispatching channel, set when the completion is armed
 }
 
-// OnEvent fires at the request's last data beat. The entry returns itself to
-// the free list up front — the completion body below may enqueue follow-on
+// OnEvent fires at the request's last data beat — or, for an entry parked in
+// retry backoff, at the end of its delay. The completion path returns the
+// entry to the free list up front — the body below may enqueue follow-on
 // requests (via OnComplete or dispatch) that immediately reuse it — so every
 // field is copied to locals first.
 func (e *entry) OnEvent(at uint64) {
-	c, cc, req, loc := e.ctrl, e.cc, e.req, e.loc
-	c.releaseEntry(e)
+	c := e.ctrl
+	if e.backoff {
+		e.backoff = false
+		c.requeue(at, e)
+		return
+	}
+	cc := e.cc
 	cc.inFlight--
+	if c.inj != nil && e.req.IsRead() && c.absorbFault(at, e) {
+		// The read came back damaged or lost; the entry is parked for a
+		// backoff retry and must not complete. The freed in-flight slot
+		// can serve someone else meanwhile.
+		c.dispatch(at, cc)
+		return
+	}
+	req, loc := e.req, e.loc
+	c.releaseEntry(e)
 	if req.IsRead() {
 		c.Stats.ReadLatencySum += at - req.Arrive
 		if t := req.Thread; t >= 0 && t < len(c.Stats.ThreadReads) {
@@ -199,6 +260,7 @@ type channelCtl struct {
 	queue      []*entry
 	inFlight   int
 	retryArmed bool
+	failed     bool       // hard channel failure: never dispatches again
 	retry      retryEvent // pre-bound bank-ready wake-up (one per channel)
 }
 
@@ -237,6 +299,16 @@ type Stats struct {
 	// ThreadSpreadHist[k] is the number of cycles during which ≥2 requests
 	// were outstanding and exactly k distinct threads had requests pending.
 	ThreadSpreadHist [maxTrackedOutstanding + 1]uint64
+
+	// Resilience counters (all zero on fault-free runs).
+	//
+	// Retries is the number of backoff re-queues of dropped or
+	// ECC-uncorrectable reads; RetryGiveUps counts reads delivered with the
+	// loss surfaced after exhausting MaxRetries; FailedOver counts queued
+	// requests migrated off a hard-failed channel.
+	Retries      uint64
+	RetryGiveUps uint64
+	FailedOver   uint64
 }
 
 // BusyCycles is the total time the DRAM system had work outstanding.
@@ -263,6 +335,16 @@ type Controller struct {
 	channels []*channelCtl
 	seq      uint64
 
+	// mapper is the live address mapping; it starts as cfg.Mapper and is
+	// swapped for a degraded remap when a channel hard-fails.
+	mapper addrmap.Mapper
+	// inj is the fault injector (nil on fault-free runs).
+	inj *faults.Injector
+	// failover is the pre-bound channel-death event; failoverAt is the
+	// cycle it fired (0 = not yet / no plan).
+	failover   failoverEvent
+	failoverAt uint64
+
 	// lc receives request-lifecycle events; nil when tracing is disabled.
 	lc obs.Sink
 
@@ -285,13 +367,15 @@ var _ mem.Controller = (*Controller)(nil)
 // mapper's geometry.
 func New(q *event.Queue, cfg Config) (*Controller, error) {
 	cfg = cfg.withDefaults()
-	g := cfg.Mapper.Geo
-	if err := g.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	g := cfg.Mapper.Geo
 	c := &Controller{
 		cfg:         cfg,
 		q:           q,
+		mapper:      cfg.Mapper,
+		inj:         cfg.Injector,
 		outstanding: make([]int, cfg.Threads),
 	}
 	for i := 0; i < g.Channels; i++ {
@@ -303,6 +387,10 @@ func New(q *event.Queue, cfg Config) (*Controller, error) {
 		cc.retry = retryEvent{c: c, cc: cc}
 		c.channels = append(c.channels, cc)
 	}
+	if _, at := c.inj.ChannelFailAt(); at > 0 {
+		c.failover = failoverEvent{c: c}
+		c.q.ScheduleHandler(at, &c.failover)
+	}
 	if cfg.Obs != nil {
 		if cfg.Obs.Trace != nil {
 			c.lc = cfg.Obs.Trace
@@ -310,6 +398,141 @@ func New(q *event.Queue, cfg Config) (*Controller, error) {
 		c.registerMetrics(cfg.Obs.Reg)
 	}
 	return c, nil
+}
+
+// failoverEvent fires at the planned channel-death cycle.
+type failoverEvent struct{ c *Controller }
+
+func (f *failoverEvent) OnEvent(at uint64) { f.c.failChannel(at) }
+
+// failChannel executes the hard channel failure: the live mapper degrades so
+// no new traffic decodes to the dead channel, and every request queued there
+// migrates to its failover home on a surviving channel. Requests already
+// dispatched to the dead channel's banks complete (their data was latched
+// before the failure); the migrated ones keep their arrival time, so the
+// latency cost of failing over is visible in the read-latency stats.
+func (c *Controller) failChannel(at uint64) {
+	ch, _ := c.inj.ChannelFailAt()
+	degraded, err := c.mapper.WithoutChannel(ch)
+	if err != nil {
+		// Validated at construction; a failure here means the plan and the
+		// geometry disagree, which Validate already rejects.
+		return
+	}
+	c.mapper = degraded
+	c.failoverAt = at
+	cc := c.channels[ch]
+	cc.failed = true
+	migrated := cc.queue
+	cc.queue = nil
+	for _, e := range migrated {
+		e.loc = c.mapper.Map(e.req.Addr)
+		c.channels[e.loc.Channel].queue = append(c.channels[e.loc.Channel].queue, e)
+		c.Stats.FailedOver++
+		if c.lc != nil {
+			ev := lcEvent(obs.KFailover, at, at, e.req, e.loc)
+			ev.Outcome = fmt.Sprintf("ch%d failed", ch)
+			c.lc.Emit(ev)
+		}
+	}
+	for _, tc := range c.channels {
+		if !tc.failed && len(tc.queue) > 0 {
+			c.dispatch(at, tc)
+		}
+	}
+}
+
+// Failover reports the failed channel and the cycle the failover executed
+// ((-1, 0) when no channel has failed).
+func (c *Controller) Failover() (channel int, at uint64) {
+	if c.failoverAt == 0 {
+		return -1, 0
+	}
+	ch, _ := c.inj.ChannelFailAt()
+	return ch, c.failoverAt
+}
+
+// Injector exposes the fault injector (nil on fault-free runs) so drivers
+// can assemble end-of-run fault reports.
+func (c *Controller) Injector() *faults.Injector { return c.inj }
+
+// ECCStats sums the SEC-DED decoder counters over all channels.
+func (c *Controller) ECCStats() dram.ECCStats {
+	var s dram.ECCStats
+	for _, cc := range c.channels {
+		s.Detected += cc.dev.ECC.Stats.Detected
+		s.Corrected += cc.dev.ECC.Stats.Corrected
+		s.Uncorrected += cc.dev.ECC.Stats.Uncorrected
+	}
+	return s
+}
+
+// absorbFault runs the fault injector and the ECC decoder over one completed
+// read. It returns true when the read must be retried — the entry has been
+// parked on a backoff timer and must not complete. Corrected errors and
+// exhausted retries return false: the read completes (the latter with the
+// loss counted in RetryGiveUps and the ECC/drop counters).
+func (c *Controller) absorbFault(at uint64, e *entry) bool {
+	f := c.inj.OnRead(e.loc.Channel, e.loc.Chip, e.loc.Bank, e.loc.Row)
+	if f == faults.FaultNone {
+		return false
+	}
+	dev := c.channels[e.loc.Channel].dev
+	var outcome string
+	retryable := false
+	switch f {
+	case faults.FaultSingleBit:
+		dev.ECC.Scrub(dram.ErrSingleBit)
+		outcome = "corrected"
+	case faults.FaultMultiBit:
+		dev.ECC.Scrub(dram.ErrMultiBit)
+		outcome = "uncorrected"
+		retryable = true
+	case faults.FaultDrop:
+		outcome = "dropped"
+		retryable = true
+	}
+	if c.lc != nil {
+		ev := lcEvent(obs.KFault, at, at, e.req, e.loc)
+		ev.Outcome = outcome
+		c.lc.Emit(ev)
+	}
+	if !retryable {
+		return false
+	}
+	if int(e.attempt) >= c.cfg.MaxRetries {
+		c.Stats.RetryGiveUps++
+		if c.lc != nil {
+			ev := lcEvent(obs.KRetry, at, at, e.req, e.loc)
+			ev.Outcome = "gave up"
+			c.lc.Emit(ev)
+		}
+		return false
+	}
+	e.attempt++
+	c.Stats.Retries++
+	shift := uint(e.attempt - 1)
+	if shift > 6 {
+		shift = 6
+	}
+	e.backoff = true
+	c.q.ScheduleHandler(at+(c.cfg.RetryBackoff<<shift), e)
+	if c.lc != nil {
+		ev := lcEvent(obs.KRetry, at, at, e.req, e.loc)
+		ev.Outcome = fmt.Sprintf("attempt %d", e.attempt)
+		c.lc.Emit(ev)
+	}
+	return true
+}
+
+// requeue returns a backoff-expired entry to its channel queue, re-decoding
+// the address through the live mapper first (a failover may have moved the
+// request's home while it waited).
+func (c *Controller) requeue(at uint64, e *entry) {
+	e.loc = c.mapper.Map(e.req.Addr)
+	cc := c.channels[e.loc.Channel]
+	cc.queue = append(cc.queue, e)
+	c.dispatch(at, cc)
 }
 
 // registerMetrics exposes the controller's live state and counters through
@@ -349,6 +572,21 @@ func (c *Controller) registerMetrics(reg *obs.Registry) {
 	reg.Gauge("dram.row_hits", func(uint64) float64 { h, _, _ := c.RowBufferStats(); return float64(h) })
 	reg.Gauge("dram.row_closed", func(uint64) float64 { _, cl, _ := c.RowBufferStats(); return float64(cl) })
 	reg.Gauge("dram.row_conflicts", func(uint64) float64 { _, _, co := c.RowBufferStats(); return float64(co) })
+	// Fault/resilience metrics exist only when an injector is attached, so
+	// fault-free runs' metrics output is byte-identical to pre-fault builds.
+	if c.inj != nil {
+		reg.Gauge("faults.injected", func(uint64) float64 { return float64(c.inj.Stats.Total()) })
+		reg.Gauge("faults.bitflips", func(uint64) float64 { return float64(c.inj.Stats.BitFlips) })
+		reg.Gauge("faults.multibit", func(uint64) float64 { return float64(c.inj.Stats.MultiBit) })
+		reg.Gauge("faults.drops", func(uint64) float64 { return float64(c.inj.Stats.Drops) })
+		reg.Gauge("ecc.detected", func(uint64) float64 { return float64(c.ECCStats().Detected) })
+		reg.Gauge("ecc.corrected", func(uint64) float64 { return float64(c.ECCStats().Corrected) })
+		reg.Gauge("ecc.uncorrected", func(uint64) float64 { return float64(c.ECCStats().Uncorrected) })
+		reg.Gauge("memctrl.retries", func(uint64) float64 { return float64(c.Stats.Retries) })
+		reg.Gauge("memctrl.retry_giveups", func(uint64) float64 { return float64(c.Stats.RetryGiveUps) })
+		reg.Gauge("memctrl.failed_over", func(uint64) float64 { return float64(c.Stats.FailedOver) })
+		reg.Gauge("memctrl.failover_at", func(uint64) float64 { return float64(c.failoverAt) })
+	}
 }
 
 // lcEvent builds the common fields of a lifecycle event for a located
@@ -385,7 +623,7 @@ func (c *Controller) QueueLen(channel int) int { return len(c.channels[channel].
 // Enqueue accepts a request. It returns false when the target channel's
 // queue is full; the caller (an L3 MSHR) must retry.
 func (c *Controller) Enqueue(now uint64, r *mem.Request) bool {
-	loc := c.cfg.Mapper.Map(r.Addr)
+	loc := c.mapper.Map(r.Addr)
 	cc := c.channels[loc.Channel]
 	if len(cc.queue) >= c.cfg.QueueDepth {
 		c.Stats.Rejected++
@@ -462,6 +700,9 @@ func (c *Controller) snapshot(now uint64) {
 // When nothing is startable, a wake-up is armed for the earliest bank-free
 // time.
 func (c *Controller) dispatch(now uint64, cc *channelCtl) {
+	if cc.failed {
+		return
+	}
 	for cc.inFlight < c.cfg.MaxInFlight && len(cc.queue) > 0 {
 		idx := c.pick(now, cc)
 		if idx < 0 {

@@ -41,6 +41,18 @@ const (
 	// (instant). Emitted by Tracer.Finish so every traced request reaches a
 	// terminal state.
 	KCancel
+	// KFault: the fault injector hit this request's service — Outcome
+	// carries the ECC/drop disposition ("corrected", "uncorrected",
+	// "dropped") (instant).
+	KFault
+	// KRetry: the controller re-queued the request after a fault; Outcome
+	// carries the attempt number, or "gave up" when retries were exhausted
+	// (instant).
+	KRetry
+	// KFailover: the request was migrated off a hard-failed channel; the
+	// Channel field is the new home and Outcome names the failed channel
+	// (instant).
+	KFailover
 )
 
 var kindNames = [...]string{
@@ -54,6 +66,9 @@ var kindNames = [...]string{
 	KData:      "data",
 	KDone:      "done",
 	KCancel:    "cancel",
+	KFault:     "fault",
+	KRetry:     "retry",
+	KFailover:  "failover",
 }
 
 func (k Kind) String() string {

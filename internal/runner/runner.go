@@ -15,7 +15,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -76,20 +78,63 @@ func Resolved[T any](v T, err error) *Future[T] {
 	return &Future[T]{val: v, err: err}
 }
 
+// PanicError is the error a Future carries when its job panicked. The panic
+// is confined to that one future — the pool, the process, and every other
+// submitted job keep running — and the error preserves everything needed to
+// debug the crash offline: the job's label (drivers pass the config
+// fingerprint), the panic value, and the goroutine stack at the panic site.
+type PanicError struct {
+	// Job is the label passed to SubmitNamed ("" for unnamed submissions).
+	Job string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	job := e.Job
+	if job == "" {
+		job = "job"
+	}
+	return fmt.Sprintf("runner: %s panicked: %v\n%s", job, e.Value, e.Stack)
+}
+
+// guard runs fn, converting a panic into a *PanicError so one crashing
+// simulation cannot take down a whole sweep. It covers both execution paths:
+// pooled worker goroutines (where an unrecovered panic would kill the
+// process) and lazy Wait-time execution on the submitting goroutine.
+func guard[T any](name string, fn func() (T, error)) (val T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Job: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
 // Submit schedules fn on the pool and returns its future. On a 1-job pool fn
 // is deferred until the future's first Wait (on the calling goroutine);
 // otherwise it runs on a worker goroutine once a slot frees up. fn must not
 // Wait on other futures of the same pool (a job waiting on an unscheduled job
 // could deadlock a full pool); waiting belongs on the submitting goroutine.
+// A panicking fn fails only its own future (see PanicError).
 func Submit[T any](p *Pool, fn func() (T, error)) *Future[T] {
+	return SubmitNamed(p, "", fn)
+}
+
+// SubmitNamed is Submit with a job label that identifies the submission in
+// PanicError should fn crash. Drivers running many configurations pass each
+// config's fingerprint so a panic names the exact run that died.
+func SubmitNamed[T any](p *Pool, name string, fn func() (T, error)) *Future[T] {
 	if p.sem == nil {
-		return &Future[T]{fn: fn}
+		return &Future[T]{fn: func() (T, error) { return guard(name, fn) }}
 	}
 	f := &Future[T]{done: make(chan struct{})}
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		f.val, f.err = fn()
+		f.val, f.err = guard(name, fn)
 		close(f.done)
 	}()
 	return f

@@ -3,6 +3,7 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -137,5 +138,49 @@ func TestResolved(t *testing.T) {
 	f := Resolved(3.5, nil)
 	if v, err := f.Wait(); v != 3.5 || err != nil {
 		t.Fatalf("Resolved Wait = %v, %v", v, err)
+	}
+}
+
+func TestPanickingJobFailsOnlyItsFuture(t *testing.T) {
+	p := New(4)
+	boom := SubmitNamed(p, "doomed-run", func() (int, error) {
+		panic("injected test panic")
+	})
+	ok := Submit(p, func() (int, error) { return 7, nil })
+
+	if v, err := ok.Wait(); err != nil || v != 7 {
+		t.Fatalf("healthy future = %d, %v; a sibling panic must not touch it", v, err)
+	}
+	_, err := boom.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking future returned %v, want *PanicError", err)
+	}
+	if pe.Job != "doomed-run" || pe.Value != "injected test panic" {
+		t.Fatalf("PanicError = job %q value %v", pe.Job, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "doomed-run") {
+		t.Fatalf("PanicError missing stack or label: %v", err)
+	}
+	// The pool must still schedule work after absorbing a panic.
+	if v, err := Submit(p, func() (int, error) { return 8, nil }).Wait(); err != nil || v != 8 {
+		t.Fatalf("post-panic submission = %d, %v", v, err)
+	}
+}
+
+func TestPanicRecoveryOnLazyPool(t *testing.T) {
+	p := Sequential()
+	f := Submit(p, func() (int, error) { panic(42) })
+	_, err := f.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("lazy panicking future returned %v, want *PanicError", err)
+	}
+	if pe.Value != 42 {
+		t.Fatalf("panic value = %v, want 42", pe.Value)
+	}
+	// Wait is idempotent: the second call replays the same error.
+	if _, err2 := f.Wait(); err2 != err {
+		t.Fatalf("second Wait = %v, want the cached %v", err2, err)
 	}
 }
