@@ -56,6 +56,55 @@ func BenchmarkTable2Machine(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
 }
 
+// benchMEMMix runs the two-speed clock's best case: a 4-thread all-MEM mix
+// (four copies of mcf, the most memory-bound app) on the paper's most
+// conservative memory system — all four channels ganged into one logical
+// channel, close-page, FCFS, a shallow queue, and a serialized in-flight
+// window — under the fetch-stall frontend policy. Every thread stalls on the
+// single serialized DRAM pipe together, so almost every cycle falls inside a
+// quiescent window. The clock skip runs enabled or disabled, reporting the
+// skip rate alongside the deterministic cycle count.
+func benchMEMMixCfg() core.Config {
+	cfg := benchCfg("mcf", "mcf", "mcf", "mcf")
+	cfg.Mem.PhysChannels = 4
+	cfg.Mem.Gang = 4
+	cfg.Mem.PageMode = dram.ClosePage
+	cfg.Mem.Policy = memctrl.FCFS
+	cfg.Mem.QueueDepth = 8
+	cfg.Mem.MaxInFlight = 1
+	cfg.CPU.Policy = cpu.FetchStall
+	return cfg
+}
+
+func benchMEMMix(b *testing.B, disableSkip bool) {
+	b.ReportAllocs()
+	var cycles, skipped, wall uint64
+	for i := 0; i < b.N; i++ {
+		cfg := benchMEMMixCfg()
+		cfg.DisableClockSkip = disableSkip
+		s, err := core.NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+		skipped += s.SkipStats().Skipped
+		wall += s.SkipStats().Wall
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
+	b.ReportMetric(float64(skipped)/float64(wall), "skiprate")
+}
+
+// BenchmarkRunMEMMix measures the two-speed clock on its target workload; the
+// NoSkip variant is the every-cycle baseline. simcycles/run must be identical
+// between the two (the skip is byte-equivalent by construction) and ns/op is
+// ~2x apart on this mix (BENCH_skip.json records the measured pair).
+func BenchmarkRunMEMMix(b *testing.B)       { benchMEMMix(b, false) }
+func BenchmarkRunMEMMixNoSkip(b *testing.B) { benchMEMMix(b, true) }
+
 // BenchmarkParallelFigures measures the parallel experiment scheduler on a
 // figure-sized sweep (Figure 6: 9 mixes × 3 channel counts plus the shared
 // alone-IPC baselines). The jobs=1 case is the sequential path (the pool runs

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,9 @@ func main() {
 		traceDir   = flag.String("trace", "", "write one Chrome trace_event JSON per simulation run into this directory")
 		metricsOut = flag.String("metrics", "", "append every run's metrics to this file (JSON lines, runs separated by meta records)")
 		metricsInt = flag.Uint64("metrics-interval", 1000, "metrics sampling period in cycles")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile covering all runs to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -65,6 +69,34 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {

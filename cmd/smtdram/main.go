@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"smtdram/internal/addrmap"
@@ -54,6 +55,10 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write cycle-sampled metrics and final counters to this file (JSON lines)")
 		metricsInt = flag.Uint64("metrics-interval", 1000, "metrics sampling period in cycles")
 		profile    = flag.Bool("profile", false, "print event-loop profiling (events/cycle, wall time per simulated megacycle) to stderr")
+
+		noskip     = flag.Bool("noskip", false, "force the clock to tick every cycle (results are byte-identical either way; this exists to demonstrate that)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -75,6 +80,13 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+
 	names := strings.Split(*apps, ",")
 	if *mix != "" {
 		m, err := workload.MixByName(*mix)
@@ -83,6 +95,7 @@ func main() {
 	}
 	cfg := core.DefaultConfig(names...)
 	cfg.WarmupInstr, cfg.TargetInstr, cfg.Seed = *warmup, *target, *seed
+	cfg.DisableClockSkip = *noskip
 	cfg.Mem.PhysChannels = *channels
 	cfg.Mem.Gang = *gang
 
@@ -126,7 +139,19 @@ func main() {
 	// The main run and the optional breakdown runs are independent, so they
 	// all fan out on the pool; results are collected in submission order.
 	pool := runner.New(*jobs)
-	runFut := runner.SubmitNamed(pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) })
+	// The main run builds the simulator by hand (rather than core.Run) so the
+	// two-speed clock's skip statistics survive into the report; the future's
+	// Wait orders the write before the read.
+	var skipStats obs.SkipStats
+	runFut := runner.SubmitNamed(pool, cfg.Fingerprint(), func() (core.Result, error) {
+		s, err := core.NewSimulator(cfg)
+		if err != nil {
+			return core.Result{}, err
+		}
+		res, err := s.Run()
+		skipStats = s.SkipStats()
+		return res, err
+	})
 	var bdJobs [][4]*runner.Future[float64]
 	if *brkdown {
 		bdJobs = make([][4]*runner.Future[float64], len(names))
@@ -145,7 +170,7 @@ func main() {
 	}
 	res, err := runFut.Wait()
 	fatalIf(err)
-	report(cfg, res)
+	report(cfg, res, skipStats)
 	if *brkdown {
 		fmt.Printf("CPI attribution (four-run method, each app alone on this machine):\n")
 		fmt.Printf("%-3s %-9s %10s %10s %10s %10s %10s\n", "t", "app", "CPIproc", "CPIL2", "CPIL3", "CPImem", "total")
@@ -161,6 +186,14 @@ func main() {
 		}
 	}
 	fatalIf(writeObservability(observer, *traceOut, *metricsOut))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		fatalIf(err)
+		runtime.GC()
+		fatalIf(pprof.WriteHeapProfile(f))
+		fatalIf(f.Close())
+	}
 }
 
 // writeObservability flushes the run's trace, metrics, and profile output.
@@ -218,11 +251,15 @@ func usageErr(msg string) {
 	os.Exit(2)
 }
 
-func report(cfg core.Config, res core.Result) {
+func report(cfg core.Config, res core.Result, st obs.SkipStats) {
 	fmt.Printf("machine: %d threads, %dC-%dG %s, %v mapping, %v page, %v scheduling, %v fetch\n",
 		len(cfg.Apps), cfg.Mem.PhysChannels, cfg.Mem.Gang, cfg.Mem.Kind,
 		cfg.Mem.Scheme, cfg.Mem.PageMode, cfg.Mem.Policy, cfg.CPU.Policy)
 	fmt.Printf("cycles: %d%s\n", res.Cycles, timedOut(res))
+	if st.Skipped > 0 {
+		fmt.Printf("clock: skipped %d of %d wall cycles (%.1f%%) in %d windows, longest %d\n",
+			st.Skipped, st.Wall, 100*st.Rate(), st.Segments, st.Longest)
+	}
 	fmt.Printf("%-3s %-9s %10s %12s %10s %12s\n", "t", "app", "IPC", "committed", "squashes", "avg DRAM lat")
 	for i, app := range res.Apps {
 		lat := "-"

@@ -125,7 +125,9 @@ func main() {
 func runLifecycle(cfg core.Config, format string, f obs.Filter) {
 	ob := obs.New(obs.Options{Trace: true})
 	cfg.Observe = func() *obs.Observer { return ob }
-	res, err := core.Run(cfg)
+	s, err := core.NewSimulator(cfg)
+	fatalIf(err)
+	res, err := s.Run()
 	fatalIf(err)
 
 	events := obs.FilterEvents(ob.Trace.Events(), f)
@@ -139,8 +141,11 @@ func runLifecycle(cfg core.Config, format string, f obs.Filter) {
 	default: // main validated the format; anything else renders pretty
 		printPretty(w, events)
 	}
-	fmt.Fprintf(os.Stderr, "tracedump: %d lifecycle events (of %d recorded) over %d cycles\n",
-		len(events), ob.Trace.Len(), res.Cycles)
+	// The trace itself is byte-identical at either clock speed; the skip
+	// summary goes to stderr with the other diagnostics so stdout stays pure.
+	st := s.SkipStats()
+	fmt.Fprintf(os.Stderr, "tracedump: %d lifecycle events (of %d recorded) over %d cycles; clock skipped %d of %d wall cycles (%.1f%%) in %d windows, longest %d\n",
+		len(events), ob.Trace.Len(), res.Cycles, st.Skipped, st.Wall, 100*st.Rate(), st.Segments, st.Longest)
 }
 
 // printPretty renders the trace grouped by request, one milestone per line.

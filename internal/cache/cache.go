@@ -168,6 +168,14 @@ type Level struct {
 	MissBegin func(meta Meta)
 	MissEnd   func(meta Meta)
 
+	// Wake, when set, fires whenever a fill installs a line at this level.
+	// The two-speed clock (DESIGN §11) sets it on the L1s: an install there
+	// can change what the CPU's next Tick does (a parked access can proceed,
+	// an MSHR frees), so it must end a deep-skip span. Lower levels leave it
+	// nil — their fills stay invisible to the CPU until a chained fill
+	// reaches an L1.
+	Wake func()
+
 	// prefetch machinery (see prefetch.go)
 	pfInFlight int
 	pfPending  map[uint64]struct{}
@@ -300,6 +308,28 @@ func (l *Level) WriteLine(now uint64, addr uint64, meta Meta) bool {
 	return true
 }
 
+// WouldBlock reports — without touching stats, LRU state, or MSHRs —
+// whether a demand access to addr (ReadLine or Store) would currently be
+// rejected by MSHR backpressure: the line misses, there is no in-flight MSHR
+// to merge into, and the MSHR file is full. While the condition holds, an
+// access attempt's only observable effect is one MSHRFull count, and only a
+// fill event can change the outcome; the two-speed clock (DESIGN §11) relies
+// on both to skip MSHR-blocked windows, replaying the per-cycle MSHRFull
+// counts in aggregate.
+func (l *Level) WouldBlock(addr uint64) bool {
+	if l.cfg.Perfect {
+		return false
+	}
+	la := l.lineAddr(addr)
+	if l.lookup(la) != nil {
+		return false
+	}
+	if _, ok := l.mshrs[la]; ok {
+		return false
+	}
+	return len(l.mshrs) >= l.cfg.MSHRs
+}
+
 // Store is the CPU's store-commit port into the L1D: write-allocate, so a
 // miss fetches the line (the store writes only part of it) and dirties it
 // on fill.
@@ -397,6 +427,9 @@ func (l *Level) install(now uint64, la uint64, dirty bool, meta Meta) {
 	}
 	l.tick++
 	*v = line{tag: tag, valid: true, dirty: dirty, used: l.tick}
+	if l.Wake != nil {
+		l.Wake()
+	}
 	_ = meta
 }
 

@@ -166,6 +166,12 @@ type Config struct {
 	// this many cycles the run aborts with a *NoProgressError instead of
 	// spinning to MaxCycles (0 = default 500 000).
 	WatchdogCycles uint64
+	// DisableClockSkip forces the run loop to tick every cycle instead of
+	// fast-forwarding across quiescent windows (see DESIGN §11). Skipping is
+	// byte-identical to ticking by construction, so this exists only for the
+	// equivalence tests, benchmarking the two speeds against each other, and
+	// debugging; it is deliberately absent from Fingerprint.
+	DisableClockSkip bool
 
 	// CPU is the core configuration (Table 1 defaults).
 	CPU cpu.Config

@@ -128,6 +128,20 @@ type Simulator struct {
 	l3   *cache.Level
 	obs  *obs.Observer
 	fsn  *failSnap
+	skip obs.SkipStats
+}
+
+// SkipStats reports how much of the run the two-speed clock fast-forwarded
+// (zero when Config.DisableClockSkip was set or no window ever qualified).
+func (s *Simulator) SkipStats() obs.SkipStats { return s.skip }
+
+// recordSkip accounts one fast-forwarded span of k cycles.
+func (s *Simulator) recordSkip(k uint64) {
+	s.skip.Skipped += k
+	s.skip.Segments++
+	if k > s.skip.Longest {
+		s.skip.Longest = k
+	}
 }
 
 // failSnap freezes the counters the failover report needs at the cycle the
@@ -283,6 +297,46 @@ func (s *Simulator) Run() (Result, error) {
 	if s.cfg.WarmupInstr == 0 {
 		sn = s.takeSnapshot(0)
 	}
+	skipping := !s.cfg.DisableClockSkip
+	// Deep skip lets a quiet span pass through event cycles whose work is
+	// internal to the memory system (an MSHR chain hop, a controller retry
+	// timer) without landing: the events fire at their exact cycles, and the
+	// span ends only when one delivers CPU-visible state — a fill reaching
+	// an L1, a branch resolving — which the caches and CPU report through
+	// the wakeup hint (cpu.TakeWake). It needs the observer detached (loop
+	// profiling attributes fired events to landed cycles) and no failover
+	// watch (the failover snapshot is taken by landed polling), so those
+	// runs fall back to landing on every event.
+	deep := skipping && s.obs == nil && !watchFail
+	// clamp bounds a quiet jump from cycle n: the watchdog's 1024-cycle
+	// boundaries are emulated (inside a quiet window nothing commits, so the
+	// first skipped boundary would record any progress made since the last
+	// check, and the check trips at the first boundary a full watchdog window
+	// past lastProgress — replicate the recording and land on the trip
+	// boundary, where the landed check fires exactly as the baseline's
+	// would), observer sample boundaries force a landing, and the jump never
+	// exits the cycle budget.
+	clamp := func(n, target uint64) uint64 {
+		if c := s.cpu.TotalCommitted; c != lastCommitted {
+			if b0 := (n>>10 + 1) << 10; target > b0 {
+				lastCommitted, lastProgress = c, b0
+			}
+		}
+		if s.cpu.TotalCommitted == lastCommitted {
+			if trip := (lastProgress + wd + 1023) >> 10 << 10; trip < target {
+				target = trip
+			}
+		}
+		if s.obs != nil {
+			if b := s.obs.NextBoundary(); b > 0 && b < target {
+				target = b
+			}
+		}
+		if target > limit+1 {
+			target = limit + 1
+		}
+		return target
+	}
 	for now = 1; now <= limit; now++ {
 		s.q.RunUntil(now)
 		s.cpu.Tick(now)
@@ -297,7 +351,9 @@ func (s *Simulator) Run() (Result, error) {
 				lastCommitted, lastProgress = c, now
 			} else if now-lastProgress >= wd {
 				s.ctrl.FinishStats(now)
+				s.skip.Wall = now
 				if s.obs != nil {
+					s.obs.Skip = s.skip
 					s.obs.Finish(now)
 				}
 				return Result{}, &NoProgressError{Cycle: now, Window: wd, Committed: c}
@@ -316,6 +372,122 @@ func (s *Simulator) Run() (Result, error) {
 		if sn.taken && s.cpu.AllFinished() {
 			break
 		}
+		if !skipping {
+			continue
+		}
+
+		// Two-speed clock (DESIGN §11): when neither the event queue nor the
+		// CPU can do anything before some future cycle, replace the
+		// intervening Ticks with their aggregate bookkeeping and land the
+		// loop directly on that cycle. Every per-cycle duty above is either
+		// replayed in aggregate (cycle counters, gated-dispatch accounting,
+		// loop profiling) or provably inert across a quiet window (warmup,
+		// finish, and failover transitions all require landed work), and the
+		// watchdog's 1024-cycle boundaries are emulated below — so a skipped
+		// run is byte-identical to an unskipped one.
+		if s.cpu.Acted() {
+			// The Tick above made real progress, so the machine is almost
+			// never on the edge of a quiet window — defer the (expensive)
+			// quiescence probe until a Tick comes back idle. Pure heuristic:
+			// it can only delay a window's start by a cycle, never skip a
+			// cycle the contract would forbid.
+			continue
+		}
+		if deep {
+			// One fused probe yields both the skip bound and the replay
+			// terms, captured before any in-window event can mutate the
+			// state they are derived from. The event queue is not consulted
+			// up front — in-span events are handled below, at their exact
+			// cycles. A memory-internal event (an MSHR chain hop, a
+			// controller retry timer) changes neither the CPU nor the L1s, so
+			// the span sails straight through it. An event that does deliver
+			// CPU-visible state closes the current sub-span — but the span
+			// only ends there if the CPU actually has work at that cycle: a
+			// fill that matures a mid-ROB entry with no ready dependents
+			// leaves the machine just as idle, so the span re-opens from the
+			// post-event state, which is exactly what a ticked run's
+			// subsequent idle cycles would see.
+			cpuNext, fx, quiet := s.cpu.ProbeQuiet(now)
+			if !quiet || cpuNext <= now+1 {
+				continue
+			}
+			if cpuNext == ^uint64(0) {
+				if _, qok := s.q.NextAt(); !qok && !s.ctrl.Quiet() {
+					// A non-quiet controller with an empty event queue is a
+					// lost wakeup — a bug, but one that must deadlock
+					// identically in both modes, so step instead of skipping
+					// over it.
+					continue
+				}
+			}
+			target := clamp(now, cpuNext)
+			if target <= now+1 {
+				continue
+			}
+			from := now
+			var total uint64
+			s.cpu.TakeWake() // events up to now already informed this Tick
+			land := target
+			for {
+				ea, eok := s.q.NextAt()
+				if !eok || ea >= land {
+					break
+				}
+				s.q.RunUntil(ea)
+				if !s.cpu.TakeWake() {
+					continue // memory-internal: sail through
+				}
+				total += ea - 1 - from
+				s.cpu.ApplyQuiet(fx, ea-1-from)
+				from = ea - 1
+				next, nfx, q := s.cpu.ProbeQuiet(from)
+				if !q || next <= ea {
+					land = ea // Tick(ea) has real work: land on it
+					break
+				}
+				fx = nfx
+				land = clamp(from, next)
+				if land <= ea {
+					land = ea + 1 // defensive: next > ea keeps this exact
+				}
+			}
+			total += land - 1 - from
+			s.cpu.ApplyQuiet(fx, land-1-from)
+			if total > 0 {
+				s.recordSkip(total)
+			}
+			now = land - 1
+			continue
+		}
+		qa, qok := s.q.NextAt()
+		if qok && qa <= now+1 {
+			continue // memory work next cycle: the common busy-phase case
+		}
+		cpuNext, fx, quiet := s.cpu.ProbeQuiet(now)
+		if !quiet || cpuNext <= now+1 {
+			continue
+		}
+		if cpuNext == ^uint64(0) && !qok && !s.ctrl.Quiet() {
+			// A non-quiet controller with an empty event queue is a lost
+			// wakeup — a bug, but one that must deadlock identically in both
+			// modes, so step instead of skipping over it.
+			continue
+		}
+		target := cpuNext
+		if qok && qa < target {
+			target = qa
+		}
+		target = clamp(now, target)
+		if target <= now+1 {
+			continue
+		}
+		to := target - 1 // cycles (now, to] are quiet; the loop lands on target
+		s.cpu.ApplyQuiet(fx, to-now)
+		if s.obs != nil {
+			s.obs.OnCycleSkip(now, to, s.q.Fired())
+		}
+		s.recordSkip(to - now)
+		now = to
 	}
 	if !sn.taken {
 		// Timed out during warmup: report whole-run (cold) measurements
@@ -327,7 +499,9 @@ func (s *Simulator) Run() (Result, error) {
 		}
 	}
 	s.ctrl.FinishStats(now)
+	s.skip.Wall = now
 	if s.obs != nil {
+		s.obs.Skip = s.skip
 		s.obs.Finish(now)
 	}
 	return s.collect(now, sn)

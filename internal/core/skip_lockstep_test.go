@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"smtdram/internal/cpu"
+	"smtdram/internal/dram"
+	"smtdram/internal/memctrl"
+)
+
+// TestSkipLockstepDeep is the strong oracle for the deep-skip protocol: it
+// drives one machine with the exact sub-span re-probe sequence the run loop
+// uses (ProbeQuiet, sail-through, wake, re-probe) and a twin with plain
+// per-cycle Ticks, comparing the full observable CPU fingerprint at every
+// landed cycle — and, stricter, asserting the twin's fingerprint never moves
+// during a cycle the protocol skipped. The end-to-end equivalence tests in
+// skip_test.go compare final Results; this test pins down *which cycle* a
+// divergence first appears at, and is the only one that can catch a
+// multi-cycle optimism bug (a probe bound that is too far out) whose damage
+// happens mid-window. The one-cycle oracle in the cpu package
+// (TestNextWorkAtPredictsQuietCycles) structurally cannot.
+func TestSkipLockstepDeep(t *testing.T) {
+	base := func() Config {
+		cfg := fastCfg("mcf", "ammp", "swim", "lucas")
+		cfg.WarmupInstr = 60_000
+		cfg.TargetInstr = 40_000
+		return cfg
+	}
+	serialized := func() Config {
+		// The MEMMix benchmark machine: four copies of the most memory-bound
+		// app on a ganged close-page FCFS controller with a serialized
+		// in-flight window, under the fetch-stall frontend policy. This is
+		// the deepest-skipping configuration in the repo, so it exercises
+		// the re-probe path (and the FetchStall gate bounds) hardest.
+		cfg := fastCfg("mcf", "mcf", "mcf", "mcf")
+		cfg.WarmupInstr = 60_000
+		cfg.TargetInstr = 40_000
+		cfg.Mem.PhysChannels = 4
+		cfg.Mem.Gang = 4
+		cfg.Mem.PageMode = dram.ClosePage
+		cfg.Mem.Policy = memctrl.FCFS
+		cfg.Mem.QueueDepth = 8
+		cfg.Mem.MaxInFlight = 1
+		cfg.CPU.Policy = cpu.FetchStall
+		return cfg
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"default-mix", base},
+		{"serialized-fetchstall", serialized},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lockstepDeep(t, tc.cfg)
+		})
+	}
+}
+
+func lockstepDeep(t *testing.T, mkCfg func() Config) {
+	mk := func() *Simulator {
+		s, err := NewSimulator(mkCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s, u := mk(), mk()
+
+	// A short ring of recent protocol decisions, dumped on failure so the
+	// offending span is visible without re-instrumenting.
+	var decisions []string
+	logd := func(f string, a ...any) {
+		decisions = append(decisions, fmt.Sprintf(f, a...))
+		if len(decisions) > 12 {
+			decisions = decisions[1:]
+		}
+	}
+
+	const limit = 400_000
+	uNow := uint64(0)
+	for now := uint64(1); now <= limit; now++ {
+		s.q.RunUntil(now)
+		s.cpu.Tick(now)
+		for uNow < now {
+			uNow++
+			u.q.RunUntil(uNow)
+			pre := u.cpu.Fingerprint()
+			u.cpu.Tick(uNow)
+			if uNow != now {
+				if post := u.cpu.Fingerprint(); post != pre {
+					for _, d := range decisions {
+						t.Log(d)
+					}
+					t.Fatalf("twin acted at skipped cycle %d\npre:  %s\npost: %s", uNow, pre, post)
+				}
+			}
+		}
+		a, b := s.cpu.Fingerprint(), u.cpu.Fingerprint()
+		if a != b {
+			for _, d := range decisions {
+				t.Log(d)
+			}
+			t.Fatalf("diverged at landed cycle %d\nskip: %s\ntick: %s", now, a, b)
+		}
+		if s.cpu.AllFinished() {
+			break
+		}
+		if s.cpu.Acted() {
+			continue
+		}
+		// Deep sub-span re-probe, mirroring Simulator.Run (no watchdog or
+		// observer clamps here; the cycle limit stands in for the budget).
+		cpuNext, fx, quiet := s.cpu.ProbeQuiet(now)
+		if !quiet || cpuNext <= now+1 {
+			continue
+		}
+		if cpuNext == ^uint64(0) {
+			if _, qok := s.q.NextAt(); !qok && !s.ctrl.Quiet() {
+				continue
+			}
+		}
+		target := cpuNext
+		if target > limit+1 {
+			target = limit + 1
+		}
+		if target <= now+1 {
+			continue
+		}
+		from := now
+		s.cpu.TakeWake()
+		land := target
+		logd("span open now=%d cpuNext=%d", now, cpuNext)
+		for {
+			ea, eok := s.q.NextAt()
+			if !eok || ea >= land {
+				break
+			}
+			s.q.RunUntil(ea)
+			if !s.cpu.TakeWake() {
+				continue // memory-internal: sail through
+			}
+			s.cpu.ApplyQuiet(fx, ea-1-from)
+			from = ea - 1
+			next, nfx, q := s.cpu.ProbeQuiet(from)
+			if !q || next <= ea {
+				land = ea
+				logd("  wake ea=%d -> land", ea)
+				break
+			}
+			fx = nfx
+			land = next
+			if land > limit+1 {
+				land = limit + 1
+			}
+			if land <= ea {
+				land = ea + 1
+			}
+			logd("  wake ea=%d next=%d reopen land=%d", ea, next, land)
+		}
+		s.cpu.ApplyQuiet(fx, land-1-from)
+		now = land - 1
+	}
+}

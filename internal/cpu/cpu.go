@@ -252,6 +252,7 @@ type loadFill struct {
 func (f *loadFill) done(at uint64) {
 	c, t, seq, epoch := f.c, f.t, f.seq, f.epoch
 	f.t = nil
+	c.wake = true
 	c.freeLoadFills = append(c.freeLoadFills, f)
 	v := &t.rob[seq%uint64(len(t.rob))]
 	if v.seq == seq && v.epoch == epoch && v.state == stIssued {
@@ -284,6 +285,7 @@ type ifill struct {
 func (f *ifill) done(uint64) {
 	c, t, line, epoch := f.c, f.t, f.line, f.epoch
 	f.t = nil
+	c.wake = true
 	c.freeIFills = append(c.freeIFills, f)
 	if t.epoch == epoch {
 		t.imissPending = false
@@ -314,6 +316,7 @@ type brEvent struct {
 func (e *brEvent) OnEvent(at uint64) {
 	c, t, seq, epoch := e.c, e.t, e.seq, e.epoch
 	e.t = nil
+	c.wake = true
 	c.freeBrEvents = append(c.freeBrEvents, e)
 	c.resolveBranch(at, t, seq, epoch)
 }
@@ -367,6 +370,14 @@ type CPU struct {
 	// (the Coop fetch policy's input; see SetMemPressure).
 	memPressure func(thread int) int
 
+	// wake is the two-speed clock's dirty flag: set whenever an event
+	// delivers CPU-visible state (a load fill, an I-fill, a branch
+	// resolution, any L1 install). The run loop's deep-skip span ends at
+	// the first event cycle that sets it (see TakeWake).
+	wake bool
+	// acted records whether the current Tick made real progress (see Acted).
+	acted bool
+
 	// Stats
 	Cycles         uint64
 	TotalCommitted uint64
@@ -387,6 +398,11 @@ func New(q *event.Queue, cfg Config, gens []Source, l1i, l1d *cache.Level) (*CPU
 	if len(gens) == 0 {
 		return nil, fmt.Errorf("cpu: no threads")
 	}
+	if len(gens) > 64 {
+		// QuietFx tracks gated dispatch in a 64-bit mask; Table 1's SMT
+		// contexts number at most 8, so the bound costs nothing real.
+		return nil, fmt.Errorf("cpu: %d threads exceeds the 64-context limit", len(gens))
+	}
 	c := &CPU{
 		cfg: cfg, q: q, l1i: l1i, l1d: l1d,
 		scratchThreads: make([]*thread, 0, len(gens)),
@@ -400,6 +416,11 @@ func New(q *event.Queue, cfg Config, gens []Source, l1i, l1d *cache.Level) (*CPU
 		}
 		c.threads = append(c.threads, t)
 	}
+	// Wakeup hints for the two-speed clock: a fill landing in either L1 can
+	// change what the next Tick does, so it must end a deep-skip span.
+	poke := func() { c.wake = true }
+	l1i.Wake = poke
+	l1d.Wake = poke
 	return c, nil
 }
 
@@ -495,12 +516,21 @@ func (c *CPU) AllFinished() bool {
 // queue up to now first.
 func (c *CPU) Tick(now uint64) {
 	c.Cycles++
+	c.acted = false
 	c.commit(now)
 	c.issue(now)
 	c.dispatch(now)
 	c.fetch(now)
 	c.drainStores(now)
 }
+
+// Acted reports whether the last Tick made real progress (fetched,
+// dispatched, issued, committed, or drained anything). It is a performance
+// hint for the run loop — a working machine is rarely about to go quiet, so
+// the loop can defer the full NextWorkAt probe until a Tick comes back idle.
+// Correctness never depends on it: a false negative merely delays a skip
+// window by a cycle, and skipping less is always exact.
+func (c *CPU) Acted() bool { return c.acted }
 
 // meta builds the thread-state snapshot piggybacked on memory requests.
 func (c *CPU) meta(t *thread, critical bool) cache.Meta {
@@ -551,6 +581,7 @@ func (c *CPU) fetchThread(now uint64, t *thread, budget int) int {
 				if accepted {
 					t.imissPending = true
 					t.imisses++
+					c.acted = true
 				}
 				return budget // stalls this thread; instruction stays peeked
 			}
@@ -559,6 +590,7 @@ func (c *CPU) fetchThread(now uint64, t *thread, budget int) int {
 		inst := t.consume()
 		t.fePush(feEntry{in: inst, readyAt: now + c.cfg.FrontendDelay})
 		budget--
+		c.acted = true
 		if inst.Kind == workload.Branch && inst.Taken {
 			break // a taken branch ends the fetch block
 		}
@@ -585,6 +617,7 @@ func (c *CPU) dispatch(now uint64) {
 				break
 			}
 			budget--
+			c.acted = true
 		}
 	}
 	c.rrDispatch++
@@ -786,6 +819,7 @@ func (c *CPU) issue(now uint64) {
 			c.issueALU(now, t, u)
 		}
 		// Issued: leave the issue queue.
+		c.acted = true
 		if fp {
 			c.fpIQUsed--
 			t.iqFP--
@@ -935,6 +969,7 @@ func (c *CPU) commit(now uint64) {
 			t.committed++
 			c.TotalCommitted++
 			budget--
+			c.acted = true
 			if t.warmedAt == 0 && t.committed >= c.warmup {
 				t.warmedAt = now
 			}
@@ -966,6 +1001,7 @@ func (c *CPU) drainStores(now uint64) {
 			return
 		}
 		c.psHead++
+		c.acted = true
 	}
 	c.pendingStores = c.pendingStores[:0]
 	c.psHead = 0

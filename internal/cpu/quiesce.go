@@ -1,0 +1,366 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"smtdram/internal/workload"
+)
+
+// This file is the CPU half of the two-speed simulation clock (DESIGN §11).
+// NextWorkAt answers "when could Tick next do anything", and AdvanceQuiet
+// replays the fixed per-cycle bookkeeping for the cycles the run loop then
+// skips. Everything here is read-only except AdvanceQuiet: the skipped
+// cycles' Ticks never run, so probing for quiescence must not perturb state
+// those Ticks would have seen.
+
+// NextWorkAt reports the earliest cycle after now at which Tick could do
+// anything beyond its fixed per-cycle bookkeeping (cycle/rr counters and
+// gated-dispatch accounting — see AdvanceQuiet). It returns now+1 when the
+// core may make progress on the very next cycle, ^uint64(0) when only a
+// memory-side completion event can unblock it, and otherwise the earliest
+// of the core's own time triggers: a fetch penalty expiring, a frontend
+// head reaching dispatch, a finite execution completing, a dependence
+// becoming ready, or a fetch gate flipping — on, which changes the
+// gated-dispatch accounting, or off, which lets dispatch proceed.
+//
+// The contract is exact, not heuristic: for every cycle m in
+// (now, NextWorkAt(now)), Tick(m) would change nothing but that fixed
+// bookkeeping, so the run loop may replace those Ticks with AdvanceQuiet
+// and stay byte-identical to a cycle-by-cycle run.
+func (c *CPU) NextWorkAt(now uint64) uint64 {
+	next, _, quiet := c.ProbeQuiet(now)
+	if !quiet {
+		return now + 1
+	}
+	return next
+}
+
+// ProbeQuiet is the fused quiescence probe: one pass over the machine
+// computes both NextWorkAt's bound and QuietFx's replay terms, sharing the
+// expensive scans (the waiting-list dependence walk, the per-thread gate
+// evaluation) that calling the two separately would repeat. quiet is false
+// when Tick could do real work at now+1 — the window never opens, and next
+// and fx are meaningless. The run loop's deep-skip path calls this at every
+// span open and re-open, so the shared pass is directly on the skip-mode
+// critical path.
+func (c *CPU) ProbeQuiet(now uint64) (next uint64, fx QuietFx, quiet bool) {
+	if c.psHead < len(c.pendingStores) {
+		if !c.l1d.WouldBlock(c.pendingStores[c.psHead].addr) {
+			return 0, fx, false // the head store drains (or allocates an MSHR) next cycle
+		}
+		// The head store is parked on a full MSHR file. Only a landed fill
+		// event can change that, so the retry's outcome is constant across
+		// any skip window; its lone per-cycle effect — one MSHRFull count —
+		// is replayed in aggregate by ApplyQuiet.
+		fx.mshrBump++
+	}
+	next = ^uint64(0)
+	for i, t := range c.threads {
+		// Fetch: an eligible thread probes the I-cache (or consumes its
+		// generator) next cycle; a penalty-blocked one wakes when it ends.
+		if t.fetchBlockedUntil > now {
+			if t.fetchBlockedUntil < next {
+				next = t.fetchBlockedUntil
+			}
+		} else if !t.imissPending && t.feLen() < c.cfg.FrontendCap {
+			return 0, fx, false
+		}
+		// Commit: a done (or matured) head retires next cycle; a head with
+		// a finite completion time retires after it. A head whose doneAt is
+		// pendingDone is an in-flight load — only a fill event wakes it.
+		if t.robCount() > 0 {
+			u := &t.rob[t.headSeq%uint64(len(t.rob))]
+			switch {
+			case u.state == stDone:
+				return 0, fx, false
+			case u.state == stIssued && u.doneAt != pendingDone:
+				if u.doneAt <= now {
+					return 0, fx, false
+				}
+				if u.doneAt < next {
+					next = u.doneAt
+				}
+			}
+		}
+		// Dispatch: a ready frontend head either dispatches (work), sits
+		// gated (pure bookkeeping), or waits on resources freed only by
+		// landed work. An ungated thread can still flip its gate on as its
+		// oldest load ages past the policy's miss threshold — the flip
+		// changes the bookkeeping, so it bounds the skip. A thread that
+		// reaches the gate check every skipped cycle contributes its
+		// gated-dispatch accounting to the replay terms; the gate's value is
+		// constant across the window (every flip trigger bounds the skip),
+		// so evaluating at now+1 stands in for every skipped cycle.
+		if t.feLen() > 0 {
+			if ra := t.frontend[t.feHead].readyAt; ra > now {
+				if ra < next {
+					next = ra
+				}
+			} else {
+				if gated, flip := c.gateInfo(now, t); !gated {
+					if c.couldDispatchHead(t) {
+						return 0, fx, false
+					}
+					if flip > now && flip < next {
+						next = flip
+					}
+				} else if flip > now && flip < next {
+					next = flip // the gate may open when its oldest load matures
+				}
+				if len(c.threads) > 1 { // dispatchGated never gates a lone thread
+					if gated, _ := c.gateInfo(now+1, t); gated {
+						fx.gated |= 1 << uint(i)
+					}
+				}
+			}
+		}
+	}
+	// Issue: a waiting uop with every dependence ready issues next cycle —
+	// unless it is a load parked on a full MSHR file, whose every retry
+	// fails identically until a landed fill event frees an entry; its one
+	// observable effect per cycle (an MSHRFull count) is replayed by
+	// ApplyQuiet. A not-yet-ready uop's latest finite dependence-completion
+	// time bounds the skip.
+	for _, u := range c.waiting {
+		if u.epoch == ^uint64(0) || u.state != stWaiting {
+			continue // squashed or stale: Tick drops these without effect
+		}
+		t := c.threads[u.tid]
+		r := t.depReadyAt(u.dep1)
+		if r2 := t.depReadyAt(u.dep2); r2 > r {
+			r = r2
+		}
+		if r <= now {
+			if u.in.Kind == workload.Load && c.l1d.WouldBlock(u.in.Addr) {
+				// MSHR-parked: constant retry, replayed in aggregate.
+				// issue() always reaches issueLoad for these: Validate
+				// guarantees non-empty functional-unit pools, and the failed
+				// attempt restores the issue width, so neither depletes
+				// across a quiet window.
+				fx.mshrBump++
+				continue
+			}
+			return 0, fx, false
+		}
+		if r < next {
+			next = r
+		}
+	}
+	return next, fx, true
+}
+
+// QuietFx is the fixed per-cycle effect of a quiet Tick, captured by
+// QuietFx() at the start of a skip window while the machine state is exactly
+// what every skipped Tick would have seen, and replayed k times by
+// ApplyQuiet. Splitting capture from application matters for the deep-skip
+// path: the run loop fires memory-internal events inside the window, and the
+// event that finally ends it (a fill landing in an L1) mutates the very
+// state — dependence readiness, L1D occupancy — these terms are derived
+// from, so they must be read before any in-window event runs.
+type QuietFx struct {
+	// mshrBump is the MSHRFull count each skipped Tick would add: one for a
+	// head store parked on the full MSHR file plus one per ready load parked
+	// the same way.
+	mshrBump uint64
+	// gated flags the threads (bit i = thread i) whose dispatch would sit
+	// gated every skipped cycle. New caps the machine at 64 contexts.
+	gated uint64
+}
+
+// QuietFx evaluates the per-cycle replay terms at cycle now, the last landed
+// cycle before a skip window. Read-only. Callers that also need NextWorkAt's
+// bound should call ProbeQuiet once instead; this wrapper exists for the
+// fused AdvanceQuiet path and for tests.
+func (c *CPU) QuietFx(now uint64) QuietFx {
+	_, fx, _ := c.ProbeQuiet(now)
+	return fx
+}
+
+// ApplyQuiet replays fx for k skipped cycles: the cycle counter and the
+// round-robin dispatch/commit rotations advance exactly as k Ticks would
+// advance them, parked retries accrue their MSHRFull rejections, and gated
+// threads accrue their gated-dispatch stat. The fetch rotation is untouched —
+// with no fetch-eligible thread, fetchOrder returns before advancing it.
+func (c *CPU) ApplyQuiet(fx QuietFx, k uint64) {
+	if k == 0 {
+		return
+	}
+	c.Cycles += k
+	c.rrDispatch += int(k)
+	c.rrCommit += int(k)
+	c.l1d.Stats.MSHRFull += k * fx.mshrBump
+	if fx.gated == 0 {
+		return
+	}
+	for i, t := range c.threads {
+		if fx.gated&(1<<uint(i)) != 0 {
+			t.gated += k
+		}
+	}
+}
+
+// AdvanceQuiet applies the aggregate effect of Ticking every cycle in
+// (now, to], which the caller has established (via NextWorkAt) to be quiet.
+// It is QuietFx + ApplyQuiet fused, for callers that fire no events inside
+// the window.
+func (c *CPU) AdvanceQuiet(now, to uint64) {
+	if to <= now {
+		return
+	}
+	c.ApplyQuiet(c.QuietFx(now), to-now)
+}
+
+// TakeWake reports whether any event since the last call delivered
+// CPU-visible state (a fill landing in an L1, a branch resolving), clearing
+// the flag. The run loop's deep-skip span calls it after each event cycle:
+// a clean result proves the cycle's events touched only memory-system
+// internals, so the span's quiescence assessment still stands.
+func (c *CPU) TakeWake() bool {
+	w := c.wake
+	c.wake = false
+	return w
+}
+
+// gateInfo is the read-only twin of dispatchGated. It reports whether the
+// thread's dispatch is gated at cycle now and the first cycle the gate's
+// value could flip purely by time passing (0 when it cannot): an off gate
+// turns on as the oldest in-flight load ages past the policy's miss
+// threshold; an on gate turns off when the load holding it open matures.
+// The latter is normally event-driven (a fill lands and sets doneAt to the
+// current cycle), but the deep-skip path probes at the cycle *before* an
+// in-span fill fires, where that load carries doneAt == now+1 and still
+// looks live — the maturity bound is what makes the probe land on the cycle
+// whose Tick first sees the gate open.
+func (c *CPU) gateInfo(now uint64, t *thread) (gated bool, flipAt uint64) {
+	n := len(c.threads)
+	if n == 1 {
+		return false, 0
+	}
+	total := c.cfg.IntIQ + c.cfg.FPIQ
+	switch c.cfg.Policy {
+	case FetchStall:
+		if t.iqInt+t.iqFP < c.missAllowance(total, n) {
+			return false, 0
+		}
+		issuedAt, doneAt, live := t.oldestLivePeek(now)
+		if !live {
+			return false, 0
+		}
+		if now-issuedAt > c.cfg.L1DLatency+c.cfg.L2Latency+4 {
+			if doneAt > now && doneAt != pendingDone {
+				return true, doneAt
+			}
+			return true, 0
+		}
+		return false, issuedAt + c.cfg.L1DLatency + c.cfg.L2Latency + 5
+	case DG, DWarn, Coop:
+		if t.iqInt+t.iqFP < c.missAllowance(total, n) {
+			return false, 0
+		}
+		issuedAt, doneAt, live := t.oldestLivePeek(now)
+		if !live {
+			return false, 0
+		}
+		if now-issuedAt > c.cfg.L1DLatency+2 {
+			if doneAt > now && doneAt != pendingDone {
+				return true, doneAt
+			}
+			return true, 0
+		}
+		return false, issuedAt + c.cfg.L1DLatency + 3
+	case ICOUNT, RoundRobin:
+		return t.iqInt+t.iqFP >= total/4, 0
+	default:
+		return false, 0
+	}
+}
+
+// oldestLivePeek finds the same oldest live in-flight load oldestLoadAge
+// would report, without popping matured entries — maturity only moves at
+// landed cycles, so the lazily-popped prefix is identical in skipped and
+// unskipped runs whenever the next Tick actually observes it. It also
+// reports that load's completion cycle (pendingDone while truly in flight;
+// one cycle ahead of now right after an in-span fill), which bounds when an
+// on gate can open.
+func (t *thread) oldestLivePeek(now uint64) (issuedAt, doneAt uint64, live bool) {
+	for _, u := range t.inFlight {
+		if u.state == stDone || (u.state == stIssued && u.doneAt <= now) || u.in.Kind != workload.Load {
+			continue
+		}
+		return u.issuedAt, u.doneAt, true
+	}
+	return 0, 0, false
+}
+
+// couldDispatchHead mirrors dispatchOne's resource checks without moving
+// the instruction: true means the next Tick would dispatch it.
+func (c *CPU) couldDispatchHead(t *thread) bool {
+	if t.robCount() >= c.cfg.ROBPerThread {
+		return false
+	}
+	in := &t.frontend[t.feHead].in
+	if in.Kind == workload.FPOp {
+		if c.fpIQUsed >= c.cfg.FPIQ {
+			return false
+		}
+	} else if c.intIQUsed >= c.cfg.IntIQ {
+		return false
+	}
+	switch in.Kind {
+	case workload.Load:
+		if c.lqUsed >= c.cfg.LQ {
+			return false
+		}
+	case workload.Store:
+		if c.sqUsed >= c.cfg.SQ {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint summarizes every piece of architecturally observable CPU state
+// that skipped cycles are forbidden to change — committed counts, queue
+// occupancies, per-thread frontend/ROB/epoch state, fetch blocks, squash and
+// memory-op counters — excluding only the fixed per-cycle bookkeeping
+// ApplyQuiet replays (Cycles, dispatch/commit rotations, gated-cycle stats)
+// and lazy internal cleanup nothing observes. The two-speed-clock lockstep
+// equivalence tests compare it cycle by cycle between a skipping machine and
+// a ticking twin; it is a diagnostic aid, not a stable format.
+func (c *CPU) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "committed=%d rrFetch=%d iq=%d/%d lsq=%d/%d ps=%d",
+		c.TotalCommitted, c.rrFetch, c.intIQUsed, c.fpIQUsed, c.lqUsed, c.sqUsed,
+		len(c.pendingStores)-c.psHead)
+	for _, t := range c.threads {
+		fmt.Fprintf(&b, " [t%d c=%d fe=%d rob=%d head=%d next=%d ep=%d iq=%d/%d lsq=%d/%d"+
+			" fbu=%d imiss=%v iline=%d sq=%d ld=%d st=%d im=%d warm=%d fin=%d]",
+			t.id, t.committed, t.feLen(), t.robCount(), t.headSeq, t.nextSeq, t.epoch,
+			t.iqInt, t.iqFP, t.lq, t.sq, t.fetchBlockedUntil, t.imissPending, t.curILine,
+			t.squashes, t.loads, t.stores, t.imisses, t.warmedAt, t.finishedAt)
+	}
+	return b.String()
+}
+
+// depReadyAt reports when producer dep's result becomes available purely by
+// time passing: 0 when it already is (mirroring depReady), the producer's
+// finite completion cycle, or ^uint64(0) when only an event (a load fill)
+// or the producer's own issue — which is landed work — can supply it.
+func (t *thread) depReadyAt(dep uint64) uint64 {
+	if dep == noDep || dep < t.headSeq {
+		return 0 // committed, or no producer
+	}
+	u := &t.rob[dep%uint64(len(t.rob))]
+	if u.seq != dep {
+		return 0 // slot recycled: producer long gone
+	}
+	switch u.state {
+	case stDone:
+		return 0
+	case stIssued:
+		return u.doneAt // pendingDone == ^uint64(0): an in-flight load
+	default:
+		return ^uint64(0) // unissued: its issue is itself landed work
+	}
+}

@@ -1,8 +1,14 @@
 // Package event provides the discrete-event scheduling core shared by the
-// memory subsystem simulators. It is a simple binary min-heap of
-// (cycle, callback) pairs with stable FIFO ordering for events scheduled at
-// the same cycle, so component behaviour is deterministic.
+// memory subsystem simulators. The queue is tiered: events in the near
+// future — the common case, since DRAM timings are short fixed offsets —
+// land in a ring of per-cycle FIFO buckets, and everything else (far-future
+// timers, schedule-in-the-past hazards) falls back to a binary min-heap.
+// The two tiers are merged at drain time by global (cycle, seq) order, so
+// firing order is exactly that of a single stable min-heap: cycle-ordered,
+// FIFO among events scheduled for the same cycle.
 package event
+
+import "math/bits"
 
 // Func is a callback fired when the simulation clock reaches its cycle.
 type Func func(now uint64)
@@ -22,12 +28,37 @@ type item struct {
 	h   Handler
 }
 
+const (
+	// ringWindow is the span of cycles the bucket ring covers, starting at
+	// the drain cursor. Must be a power of two. DRAM service times, cache
+	// latencies, and retry gaps are all far below this, so in steady state
+	// essentially every event takes the O(1) bucket path.
+	ringWindow = 1024
+	ringMask   = ringWindow - 1
+	occWords   = ringWindow / 64
+	// bucketCap is the per-bucket capacity carved from the shared backing
+	// array on first use; buckets that burst past it grow individually and
+	// keep their larger capacity.
+	bucketCap = 4
+)
+
 // Queue is a deterministic discrete-event queue. The zero value is ready to
 // use. Queue is not safe for concurrent use; the simulator is single-threaded
 // by design (one simulated machine = one goroutine).
 type Queue struct {
-	heap []item
-	seq  uint64
+	// ring holds events for cycles in [base, base+ringWindow), one FIFO
+	// bucket per cycle, indexed by cycle & ringMask. occ is its occupancy
+	// bitmap (one bit per bucket) for fast next-nonempty scans.
+	ring  [ringWindow][]item
+	occ   [occWords]uint64
+	ringN int
+	base  uint64 // lowest cycle not yet fully drained
+
+	// far is a (at, seq) min-heap holding everything the ring cannot:
+	// events beyond the window and events scheduled in the past.
+	far []item
+
+	seq uint64
 
 	// Drain/hazard counters, maintained unconditionally (a handful of
 	// integer ops per event) and exposed to the observability layer.
@@ -38,7 +69,7 @@ type Queue struct {
 }
 
 // Len reports the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return q.ringN + len(q.far) }
 
 // Fired reports the cumulative number of events executed.
 func (q *Queue) Fired() uint64 { return q.fired }
@@ -57,15 +88,7 @@ func (q *Queue) MaxLen() int { return q.maxLen }
 // advanced to, preserving run-to-completion semantics. Occurrences are
 // counted (see PastSchedules).
 func (q *Queue) Schedule(at uint64, fn Func) {
-	if at < q.firedAt {
-		q.past++
-	}
-	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
-	if len(q.heap) > q.maxLen {
-		q.maxLen = len(q.heap)
-	}
-	q.seq++
-	q.up(len(q.heap) - 1)
+	q.push(item{at: at, fn: fn})
 }
 
 // ScheduleHandler registers h to run at cycle at. It shares the clock, the
@@ -74,48 +97,195 @@ func (q *Queue) Schedule(at uint64, fn Func) {
 // takes an interface value instead of a closure, so callers can reuse one
 // handler object across millions of events without allocating.
 func (q *Queue) ScheduleHandler(at uint64, h Handler) {
-	if at < q.firedAt {
+	q.push(item{at: at, h: h})
+}
+
+// push is the single insertion path behind Schedule and ScheduleHandler.
+func (q *Queue) push(it item) {
+	if it.at < q.firedAt {
 		q.past++
 	}
-	q.heap = append(q.heap, item{at: at, seq: q.seq, h: h})
-	if len(q.heap) > q.maxLen {
-		q.maxLen = len(q.heap)
-	}
+	it.seq = q.seq
 	q.seq++
-	q.up(len(q.heap) - 1)
+	if it.at >= q.base && it.at < q.base+ringWindow {
+		s := int(it.at & ringMask)
+		if q.ring[s] == nil {
+			q.initRing()
+		}
+		q.ring[s] = append(q.ring[s], it)
+		q.occ[s>>6] |= 1 << uint(s&63)
+		q.ringN++
+	} else {
+		q.far = append(q.far, it)
+		q.up(len(q.far) - 1)
+	}
+	if n := q.ringN + len(q.far); n > q.maxLen {
+		q.maxLen = n
+	}
+}
+
+// initRing carves every bucket's initial capacity out of one shared backing
+// array, so warming the ring costs a single allocation instead of one per
+// bucket.
+func (q *Queue) initRing() {
+	backing := make([]item, ringWindow*bucketCap)
+	for i := range q.ring {
+		if q.ring[i] == nil {
+			q.ring[i] = backing[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
+		}
+	}
+}
+
+// ringNextAt returns the earliest cycle with a pending ring event.
+func (q *Queue) ringNextAt() (uint64, bool) {
+	if q.ringN == 0 {
+		return 0, false
+	}
+	s := int(q.base & ringMask)
+	w0 := s >> 6
+	w := w0
+	word := q.occ[w0] &^ (1<<uint(s&63) - 1)
+	for {
+		if word != 0 {
+			slot := w<<6 + bits.TrailingZeros64(word)
+			return q.base + uint64((slot-s+ringWindow)&ringMask), true
+		}
+		w = (w + 1) & (occWords - 1)
+		word = q.occ[w]
+		if w == w0 {
+			// Wrapped: only the low bits of the starting word remain
+			// (slots before the cursor hold next-lap cycles).
+			word &= 1<<uint(s&63) - 1
+			if word != 0 {
+				slot := w<<6 + bits.TrailingZeros64(word)
+				return q.base + uint64((slot-s+ringWindow)&ringMask), true
+			}
+			return 0, false
+		}
+	}
 }
 
 // NextAt returns the cycle of the earliest pending event. ok is false when
 // the queue is empty.
 func (q *Queue) NextAt() (at uint64, ok bool) {
-	if len(q.heap) == 0 {
-		return 0, false
+	ra, rok := q.ringNextAt()
+	if len(q.far) > 0 && (!rok || q.far[0].at < ra) {
+		return q.far[0].at, true
 	}
-	return q.heap[0].at, true
+	return ra, rok
 }
 
 // RunUntil fires, in order, every event with cycle <= now. Events scheduled
 // by callbacks for cycles <= now are fired in the same call.
 func (q *Queue) RunUntil(now uint64) {
-	for len(q.heap) > 0 && q.heap[0].at <= now {
-		it := q.pop()
-		q.fired++
-		if it.at > q.firedAt {
-			q.firedAt = it.at
+	for {
+		ra, rok := q.ringNextAt()
+		var c uint64
+		switch {
+		case len(q.far) > 0 && (!rok || q.far[0].at < ra):
+			c = q.far[0].at
+		case rok:
+			c = ra
+		default:
+			goto drained
 		}
-		if it.h != nil {
-			it.h.OnEvent(it.at)
-		} else {
-			it.fn(it.at)
+		if c > now {
+			break
 		}
+		if c < q.base {
+			// A schedule-in-the-past event: it lives only in the far heap
+			// (the ring never holds cycles below the cursor). Fire it and
+			// re-pick the global minimum — its callback may schedule more.
+			q.fire(q.popFar())
+			continue
+		}
+		// All cycles below c are drained, so the cursor may advance to c,
+		// which puts c's bucket in the window: same-cycle schedules made by
+		// the callbacks below land in the bucket being drained and fire in
+		// this same pass, in seq order.
+		q.base = c
+		q.drainCycle(c)
+	}
+drained:
+	if q.base <= now {
+		q.base = now + 1
 	}
 }
 
-func (q *Queue) pop() item {
-	top := q.heap[0]
-	last := len(q.heap) - 1
-	q.heap[0] = q.heap[last]
-	q.heap = q.heap[:last]
+// drainCycle fires every event at cycle c (== q.base), merging the ring
+// bucket's FIFO with far-heap entries by seq so global (at, seq) order is
+// preserved. Callbacks may append to either tier mid-drain.
+func (q *Queue) drainCycle(c uint64) {
+	s := int(c & ringMask)
+	bi := 0
+	for {
+		hasB := bi < len(q.ring[s])
+		hasF := len(q.far) > 0 && q.far[0].at <= c
+		var it item
+		switch {
+		case hasF && (!hasB || q.far[0].at < c || q.far[0].seq < q.ring[s][bi].seq):
+			// A past-scheduled event (at < c) always precedes the rest of
+			// this cycle; an at == c far entry interleaves by seq.
+			it = q.popFar()
+		case hasB:
+			it = q.ring[s][bi]
+			q.ring[s][bi] = item{}
+			bi++
+			q.ringN--
+		default:
+			q.ring[s] = q.ring[s][:0]
+			q.occ[s>>6] &^= 1 << uint(s&63)
+			return
+		}
+		q.fire(it)
+	}
+}
+
+func (q *Queue) fire(it item) {
+	q.fired++
+	if it.at > q.firedAt {
+		q.firedAt = it.at
+	}
+	if it.h != nil {
+		it.h.OnEvent(it.at)
+	} else {
+		it.fn(it.at)
+	}
+}
+
+// Reset discards all pending events and zeroes every counter, returning the
+// queue to its initial state while retaining the grown internal storage, so
+// a queue reused across runs schedules without reallocating.
+func (q *Queue) Reset() {
+	for s := range q.ring {
+		b := q.ring[s]
+		for i := range b {
+			b[i] = item{}
+		}
+		if b != nil {
+			q.ring[s] = b[:0]
+		}
+	}
+	for i := range q.far {
+		q.far[i] = item{}
+	}
+	q.far = q.far[:0]
+	q.occ = [occWords]uint64{}
+	q.ringN = 0
+	q.base = 0
+	q.seq = 0
+	q.fired = 0
+	q.firedAt = 0
+	q.past = 0
+	q.maxLen = 0
+}
+
+func (q *Queue) popFar() item {
+	top := q.far[0]
+	last := len(q.far) - 1
+	q.far[0] = q.far[last]
+	q.far[last] = item{}
+	q.far = q.far[:last]
 	if last > 0 {
 		q.down(0)
 	}
@@ -123,10 +293,10 @@ func (q *Queue) pop() item {
 }
 
 func (q *Queue) less(i, j int) bool {
-	if q.heap[i].at != q.heap[j].at {
-		return q.heap[i].at < q.heap[j].at
+	if q.far[i].at != q.far[j].at {
+		return q.far[i].at < q.far[j].at
 	}
-	return q.heap[i].seq < q.heap[j].seq
+	return q.far[i].seq < q.far[j].seq
 }
 
 func (q *Queue) up(i int) {
@@ -135,13 +305,13 @@ func (q *Queue) up(i int) {
 		if !q.less(i, parent) {
 			break
 		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		q.far[i], q.far[parent] = q.far[parent], q.far[i]
 		i = parent
 	}
 }
 
 func (q *Queue) down(i int) {
-	n := len(q.heap)
+	n := len(q.far)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -154,7 +324,7 @@ func (q *Queue) down(i int) {
 		if smallest == i {
 			return
 		}
-		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		q.far[i], q.far[smallest] = q.far[smallest], q.far[i]
 		i = smallest
 	}
 }

@@ -236,3 +236,126 @@ func TestScheduleHandlerDoesNotAllocate(t *testing.T) {
 		t.Fatalf("ScheduleHandler+RunUntil allocates %v/op, want 0", avg)
 	}
 }
+
+// TestFarFutureOrdering exercises the heap tier: events far beyond the ring
+// window must interleave correctly with near-future bucket events.
+func TestFarFutureOrdering(t *testing.T) {
+	var q Queue
+	var got []uint64
+	rec := func(now uint64) { got = append(got, now) }
+	q.Schedule(5000, rec) // far tier
+	q.Schedule(3, rec)    // ring tier
+	q.Schedule(70000, rec)
+	q.Schedule(900, rec)
+	q.RunUntil(100000)
+	want := []uint64{3, 900, 5000, 70000}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSameCycleAcrossTiers: an event scheduled for cycle c while c was far
+// future and another scheduled for c once c is within the ring must fire in
+// registration (seq) order.
+func TestSameCycleAcrossTiers(t *testing.T) {
+	var q Queue
+	var got []int
+	c := uint64(2000)                                    // outside the zero-based ring window at first
+	q.Schedule(c, func(uint64) { got = append(got, 1) }) // far tier
+	q.RunUntil(1500)                                     // advance the window over c
+	q.Schedule(c, func(uint64) { got = append(got, 2) }) // ring tier
+	q.RunUntil(c)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("cross-tier same-cycle order = %v, want [1 2]", got)
+	}
+}
+
+// TestPastScheduleInterleavesFirst: a past-scheduled event must fire before
+// pending current-cycle events with earlier registration, matching the
+// global (cycle, seq) order of a plain min-heap.
+func TestPastScheduleInterleavesFirst(t *testing.T) {
+	var q Queue
+	var got []string
+	q.Schedule(10, func(uint64) {
+		got = append(got, "a")
+		q.Schedule(2, func(uint64) { got = append(got, "late") }) // in the past
+	})
+	q.Schedule(10, func(uint64) { got = append(got, "b") })
+	q.RunUntil(10)
+	if len(got) != 3 || got[0] != "a" || got[1] != "late" || got[2] != "b" {
+		t.Fatalf("fired %v, want [a late b]", got)
+	}
+	if q.PastSchedules() != 1 {
+		t.Fatalf("PastSchedules = %d, want 1", q.PastSchedules())
+	}
+}
+
+// TestRingWrapAround pushes the drain cursor far past one ring lap to check
+// bucket-slot reuse keeps cycles distinct.
+func TestRingWrapAround(t *testing.T) {
+	var q Queue
+	var got []uint64
+	now := uint64(0)
+	for lap := 0; lap < 5; lap++ {
+		for _, off := range []uint64{1, 500, 1023} {
+			at := now + off
+			q.Schedule(at, func(at uint64) { got = append(got, at) })
+		}
+		now += 1023
+		q.RunUntil(now)
+	}
+	if len(got) != 15 {
+		t.Fatalf("fired %d events, want 15", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+// TestReset returns a used queue to its initial state but keeps it usable.
+func TestReset(t *testing.T) {
+	var q Queue
+	q.Schedule(5, func(uint64) {})
+	q.Schedule(9000, func(uint64) {}) // one event in each tier
+	q.RunUntil(5)
+	q.Schedule(2, func(uint64) {}) // a past-schedule hazard
+	q.Reset()
+	if q.Len() != 0 || q.Fired() != 0 || q.PastSchedules() != 0 || q.MaxLen() != 0 {
+		t.Fatalf("Reset left state: len=%d fired=%d past=%d maxLen=%d",
+			q.Len(), q.Fired(), q.PastSchedules(), q.MaxLen())
+	}
+	if _, ok := q.NextAt(); ok {
+		t.Fatal("NextAt reported an event after Reset")
+	}
+	fired := false
+	q.Schedule(1, func(uint64) { fired = true })
+	q.RunUntil(1)
+	if !fired || q.Fired() != 1 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+// TestResetDoesNotAllocate: a Reset queue retains its storage, so the next
+// run's scheduling stays allocation-free.
+func TestResetDoesNotAllocate(t *testing.T) {
+	var q Queue
+	h := &recordingHandler{fired: make([]uint64, 0, 16)}
+	q.ScheduleHandler(1, h)
+	q.RunUntil(1)
+	avg := testing.AllocsPerRun(100, func() {
+		q.Reset()
+		h.fired = h.fired[:0]
+		q.ScheduleHandler(3, h)
+		q.RunUntil(3)
+	})
+	if avg != 0 {
+		t.Fatalf("Reset+Schedule+RunUntil allocates %v/op, want 0", avg)
+	}
+}

@@ -620,6 +620,27 @@ func (c *Controller) Outstanding(thread int) int {
 // channel; tests use it to observe backpressure.
 func (c *Controller) QueueLen(channel int) int { return len(c.channels[channel].queue) }
 
+// Quiet reports whether the controller is fully idle: no request queued or in
+// flight on any channel and no outstanding demand request parked elsewhere
+// (e.g. on a retry-backoff timer). The controller makes progress only from
+// event callbacks — completions, bank-ready retries, backoff expiries,
+// failover — so a non-quiet controller always has its next state change
+// covered by a pending event. core.Run leans on that invariant when the
+// two-speed clock fast-forwards: a quiescent CPU plus an empty event queue
+// plus a non-quiet controller would mean a lost wakeup, and Quiet is the
+// cheap way to refuse to skip over it.
+func (c *Controller) Quiet() bool {
+	if c.totalOut != 0 {
+		return false
+	}
+	for _, cc := range c.channels {
+		if len(cc.queue) != 0 || cc.inFlight != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Enqueue accepts a request. It returns false when the target channel's
 // queue is full; the caller (an L3 MSHR) must retry.
 func (c *Controller) Enqueue(now uint64, r *mem.Request) bool {

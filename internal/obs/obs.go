@@ -125,6 +125,34 @@ type Options struct {
 	Label string
 }
 
+// SkipStats summarizes the two-speed clock's fast-forwarding over one run:
+// how many cycles were skipped (their per-cycle bookkeeping replayed in
+// aggregate rather than ticked), across how many contiguous windows, and the
+// longest single window. Purely an efficiency observation — a skipped run's
+// results are byte-identical to an unskipped one — so it lives beside the
+// run's Result, not inside it.
+type SkipStats struct {
+	// Skipped is the total number of cycles fast-forwarded over.
+	Skipped uint64
+	// Segments is the number of contiguous skip windows.
+	Segments uint64
+	// Longest is the largest single window in cycles.
+	Longest uint64
+	// Wall is the total number of wall-clock simulation cycles the run
+	// traversed, warmup included — the honest denominator for Rate. (The
+	// Result's Cycles field counts only the measured window, so Skipped can
+	// legitimately exceed it.)
+	Wall uint64
+}
+
+// Rate returns the skipped fraction of the run's wall cycles.
+func (s SkipStats) Rate() float64 {
+	if s.Wall == 0 {
+		return 0
+	}
+	return float64(s.Skipped) / float64(s.Wall)
+}
+
 // Observer bundles one run's observability state. Components receive it at
 // construction and register their metrics / hold its Trace sink. A nil
 // *Observer disables everything.
@@ -139,6 +167,9 @@ type Observer struct {
 	Label string
 	// FinalCycle is the cycle the run finished at (set by Finish).
 	FinalCycle uint64
+	// Skip is the run's two-speed-clock summary (zero when skipping was
+	// disabled or never engaged). The run loop copies it in before Finish.
+	Skip SkipStats
 	// OnFinish, when non-nil, runs after Finish — the hook multi-run
 	// harnesses use to flush per-run output.
 	OnFinish func(*Observer)
@@ -175,6 +206,29 @@ func (ob *Observer) OnCycle(now, fired uint64) {
 	}
 	if ob.Reg != nil {
 		ob.Reg.MaybeSample(now)
+	}
+}
+
+// NextBoundary returns the next cycle the observer must see land to stay
+// byte-identical across a fast-forward — the registry's next sample cycle —
+// or 0 when nothing constrains the jump. The run loop clamps skip targets to
+// it so sampled gauges are read at exactly the cycles an unskipped run would
+// read them.
+func (ob *Observer) NextBoundary() uint64 {
+	if ob.Reg != nil {
+		return ob.Reg.NextSampleAt()
+	}
+	return 0
+}
+
+// OnCycleSkip replays the per-cycle observer bookkeeping for the skipped
+// cycles (from, to] in aggregate; fired is the queue's cumulative event
+// count, necessarily unchanged across the window (the skip never crosses a
+// pending event). Registry sampling needs no replay — NextBoundary keeps
+// sample cycles landed.
+func (ob *Observer) OnCycleSkip(from, to, fired uint64) {
+	if ob.Prof != nil {
+		ob.Prof.skip(from, to, fired)
 	}
 }
 

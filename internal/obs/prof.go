@@ -53,6 +53,27 @@ func (p *LoopProf) cycle(now, fired uint64) {
 	}
 }
 
+// skip replays cycle for every skipped cycle in (from, to] at once: the first
+// cycle consumes any outstanding fired delta (always zero in practice — the
+// clock never skips across a pending event), the rest observe zero, and the
+// megacycle wall clock catches up one entry per crossed mark, exactly as the
+// per-cycle path would have appended them.
+func (p *LoopProf) skip(from, to, fired uint64) {
+	if to <= from {
+		return
+	}
+	k := to - from
+	p.cycles += k
+	p.Hist.Observe(fired - p.lastFired)
+	p.Hist.ObserveN(0, k-1)
+	p.lastFired = fired
+	for p.nextMega <= to {
+		p.megaWall = append(p.megaWall, time.Since(p.megaStart))
+		p.megaStart = time.Now()
+		p.nextMega += megacycle
+	}
+}
+
 func (p *LoopProf) finish(now uint64) {
 	_ = now
 	p.total = time.Since(p.start)

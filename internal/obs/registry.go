@@ -75,6 +75,25 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// ObserveN records the same value n times, exactly as n Observe calls would
+// but in O(1) — the two-speed clock uses it to replay a skip window's worth
+// of identical per-cycle observations.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i] += n
+	h.n += n
+	h.sum += v * n
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -239,6 +258,16 @@ func (r *Registry) MaybeSample(now uint64) {
 		}
 	}
 	r.next = now + r.interval
+}
+
+// NextSampleAt returns the cycle of the next scheduled sample (0 for nil).
+// The two-speed clock never fast-forwards past it, so every sample reads the
+// machine at exactly the cycle an unskipped run would.
+func (r *Registry) NextSampleAt() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next
 }
 
 // Series returns a sampled gauge's time series (shared slices; do not
