@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (used by -breakdown; 1 = sequential)")
 		brkdown  = flag.Bool("breakdown", false, "also attribute each app's CPI (proc/L2/L3/mem) on this machine via the paper's four-run method")
+		jsonOut  = flag.Bool("json", false, "print the result as JSON instead of the text report (byte-identical to the daemon's /result payload)")
 		dump     = flag.Bool("dump-config", false, "print the Table 1 configuration and exit")
 
 		faultSpec = flag.String("faults", "", "fault-injection plan, e.g. 'bitflip:rate=1e-6,seed=7;channel-fail:ch=1,at=2000000;drop:rate=1e-7' (clauses: bitflip, drop, stuckrow, channel-fail, seed)")
@@ -73,6 +75,9 @@ func main() {
 	}
 	if *target == 0 {
 		usageErr("-target must be at least 1 instruction")
+	}
+	if *jsonOut && *brkdown {
+		usageErr("-json and -breakdown are mutually exclusive")
 	}
 
 	if *dump {
@@ -170,7 +175,16 @@ func main() {
 	}
 	res, err := runFut.Wait()
 	fatalIf(err)
-	report(cfg, res, skipStats)
+	if *jsonOut {
+		// The exact bytes the daemon serves from /v1/jobs/{id}/result: the
+		// same core.Result through the same json.Marshal.
+		b, err := json.Marshal(res)
+		fatalIf(err)
+		_, err = os.Stdout.Write(b)
+		fatalIf(err)
+	} else {
+		report(cfg, res, skipStats)
+	}
 	if *brkdown {
 		fmt.Printf("CPI attribution (four-run method, each app alone on this machine):\n")
 		fmt.Printf("%-3s %-9s %10s %10s %10s %10s %10s\n", "t", "app", "CPIproc", "CPIL2", "CPIL3", "CPImem", "total")

@@ -1,0 +1,178 @@
+// Command smtdramd serves the simulator over HTTP: submissions land on a
+// bounded job queue, run on a worker pool, and are answered from a
+// fingerprint-keyed result cache when the configuration was seen before. The
+// results it serves are byte-identical to `smtdram -json` with the same
+// knobs.
+//
+// Examples:
+//
+//	smtdramd                                  # serve on 127.0.0.1:8321
+//	smtdramd -addr :9000 -queue 128 -workers 8
+//	smtdramd -loadgen -loadgen-requests 200   # benchmark an in-process daemon
+//	smtdramd -loadgen -loadgen-url http://127.0.0.1:8321
+//
+// On SIGTERM or SIGINT the daemon stops admitting work (new submissions get
+// 503), waits up to -drain-timeout for in-flight jobs, and exits cleanly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"smtdram/internal/server"
+	"smtdram/internal/server/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8321", "listen address")
+		queue    = flag.Int("queue", 64, "admission queue depth (queued + running jobs); beyond it submissions get 429")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+		cacheN   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
+		progress = flag.Uint64("progress-interval", 10_000, "simulated cycles between streamed progress samples")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown before cancelling them")
+		quiet    = flag.Bool("quiet", false, "suppress per-job log lines")
+
+		loadgen   = flag.Bool("loadgen", false, "run as a load generator instead of serving, then print a throughput/latency report")
+		lgURL     = flag.String("loadgen-url", "", "daemon base URL for -loadgen (empty: benchmark an in-process daemon)")
+		lgReqs    = flag.Int("loadgen-requests", 100, "total submissions for -loadgen")
+		lgClients = flag.Int("loadgen-clients", 8, "concurrent submitters for -loadgen")
+		lgOut     = flag.String("loadgen-out", "", "write the -loadgen report JSON to this file (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "smtdramd: unexpected argument %q (all options are flags)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	cfg := server.Config{
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		CacheEntries:     *cacheN,
+		ProgressInterval: *progress,
+		Logf:             logf,
+	}
+
+	if *loadgen {
+		if err := runLoadGen(cfg, *lgURL, *lgReqs, *lgClients, *lgOut); err != nil {
+			fmt.Fprintln(os.Stderr, "smtdramd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(cfg, *addr, *drainT); err != nil {
+		fmt.Fprintln(os.Stderr, "smtdramd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until SIGTERM/SIGINT, then drains and shuts down.
+func serve(cfg server.Config, addr string, drainTimeout time.Duration) error {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	log.Printf("smtdramd: listening on http://%s (queue %d, workers %d)", ln.Addr(), cfg.QueueDepth, workersOf(cfg))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case got := <-sig:
+		log.Printf("smtdramd: received %s; draining (up to %s)", got, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("smtdramd: drain timed out; in-flight jobs were cancelled: %v", err)
+	} else {
+		log.Printf("smtdramd: drained cleanly")
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		_ = hs.Close()
+	}
+	log.Printf("smtdramd: shutdown complete")
+	return nil
+}
+
+func workersOf(cfg server.Config) int {
+	if cfg.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg.Workers
+}
+
+// runLoadGen benchmarks a daemon — a remote one at baseURL, or an in-process
+// one when baseURL is empty — and writes the report JSON.
+func runLoadGen(cfg server.Config, baseURL string, requests, clients int, outPath string) error {
+	if baseURL == "" {
+		srv := server.New(cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			_ = hs.Close()
+			srv.Close()
+		}()
+		baseURL = "http://" + ln.Addr().String()
+		log.Printf("smtdramd: load-generating against in-process daemon at %s", baseURL)
+	}
+
+	c := client.New(baseURL)
+	start := time.Now()
+	rep, err := c.LoadGen(context.Background(), client.LoadGenConfig{
+		Requests: requests,
+		Clients:  clients,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("smtdramd: %d requests in %.2fs (%.1f req/s, p50 %.1fms, p99 %.1fms, cache-hit %.0f%%, %d 429s, %.0f sims run)",
+		rep.Requests, time.Since(start).Seconds(), rep.RequestsPerSec,
+		rep.P50Ms, rep.P99Ms, 100*rep.CacheHitRatio, rep.Rejections, rep.SimsRun)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	log.Printf("smtdramd: report -> %s", outPath)
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"smtdram/internal/addrmap"
@@ -281,10 +282,63 @@ func (s *Simulator) takeSnapshot(now uint64) snapshot {
 	return sn
 }
 
+// Progress is a mid-run snapshot of the machine, safe to take from the run's
+// own goroutine (the serving daemon samples it through an obs.Observer
+// Progress hook and streams it to clients). Purely observational: taking a
+// snapshot perturbs nothing, so a watched run stays byte-identical to an
+// unwatched one.
+type Progress struct {
+	// Cycle is the current simulated cycle.
+	Cycle uint64 `json:"cycle"`
+	// Committed is the total committed-instruction count across threads.
+	Committed uint64 `json:"committed"`
+	// TargetTotal is the whole-run commit goal: threads × (warmup + target).
+	TargetTotal uint64 `json:"target_total"`
+	// IPC is the whole-run throughput so far (Committed / Cycle).
+	IPC float64 `json:"ipc"`
+	// Outstanding is the controller's live pending demand-request count.
+	Outstanding int `json:"outstanding"`
+	// PendingEvents is the event queue's depth.
+	PendingEvents int `json:"pending_events"`
+	// SkippedCycles and SkipSegments summarize the two-speed clock so far.
+	SkippedCycles uint64 `json:"skipped_cycles"`
+	SkipSegments  uint64 `json:"skip_segments"`
+}
+
+// Progress snapshots the machine at cycle now.
+func (s *Simulator) Progress(now uint64) Progress {
+	p := Progress{
+		Cycle:         now,
+		Committed:     s.cpu.TotalCommitted,
+		TargetTotal:   uint64(len(s.cfg.Apps)) * (s.cfg.WarmupInstr + s.cfg.TargetInstr),
+		PendingEvents: s.q.Len(),
+		SkippedCycles: s.skip.Skipped,
+		SkipSegments:  s.skip.Segments,
+	}
+	if now > 0 {
+		p.IPC = float64(p.Committed) / float64(now)
+	}
+	for t := range s.cfg.Apps {
+		p.Outstanding += s.ctrl.Outstanding(t)
+	}
+	return p
+}
+
 // Run executes the simulation to completion (every thread warms up and then
 // reaches the target, or MaxCycles elapse) and returns measurements covering
 // only the post-warmup window.
 func (s *Simulator) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked at
+// the same 1024-cycle boundaries as the progress watchdog, so an abandoned
+// job (an HTTP client that hung up, a deadline that passed) stops burning CPU
+// within at most one watchdog window plus the current quiet-window jump. A
+// cancelled run returns ctx.Err() after closing its stats and observer
+// exactly like a watchdog abort, leaving the simulator in a consistent
+// (finished) state.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	limit := s.cfg.maxCycles()
 	wd := s.cfg.WatchdogCycles
 	if wd == 0 {
@@ -345,8 +399,19 @@ func (s *Simulator) Run() (Result, error) {
 		}
 		// Progress watchdog: a machine that commits nothing for wd cycles is
 		// livelocked, not slow — abort with a structured error instead of
-		// burning the remaining MaxCycles budget.
+		// burning the remaining MaxCycles budget. Cancellation shares the
+		// boundary: one Err() load per 1024 cycles is noise, and a cancelled
+		// run unwinds through the same stats/observer close-out as an abort.
 		if now&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				s.ctrl.FinishStats(now)
+				s.skip.Wall = now
+				if s.obs != nil {
+					s.obs.Skip = s.skip
+					s.obs.Finish(now)
+				}
+				return Result{}, err
+			}
 			if c := s.cpu.TotalCommitted; c != lastCommitted {
 				lastCommitted, lastProgress = c, now
 			} else if now-lastProgress >= wd {
@@ -613,11 +678,16 @@ func (s *Simulator) collect(now uint64, sn snapshot) (Result, error) {
 
 // Run builds and runs a machine in one call.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext builds and runs a machine under ctx in one call.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	s, err := NewSimulator(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // RunAlone runs a single application on the machine described by cfg

@@ -173,6 +173,19 @@ type Observer struct {
 	// OnFinish, when non-nil, runs after Finish — the hook multi-run
 	// harnesses use to flush per-run output.
 	OnFinish func(*Observer)
+
+	// Progress, when non-nil, fires on the run goroutine roughly every
+	// ProgressInterval landed cycles — the serving daemon's streaming hook.
+	// Unlike registry samples, progress points do NOT constrain the
+	// two-speed clock (NextBoundary ignores them): a fast-forwarded window
+	// simply reports from its landing cycle, which is exactly when something
+	// next happened. The callback may read the simulator freely (same
+	// goroutine) but must not mutate it.
+	Progress func(now uint64)
+	// ProgressInterval is the minimum cycle gap between Progress calls
+	// (default 10 000 when Progress is set).
+	ProgressInterval uint64
+	nextProgress     uint64
 }
 
 // New builds an Observer, or returns nil when every subsystem is off, so
@@ -206,6 +219,14 @@ func (ob *Observer) OnCycle(now, fired uint64) {
 	}
 	if ob.Reg != nil {
 		ob.Reg.MaybeSample(now)
+	}
+	if ob.Progress != nil && now >= ob.nextProgress {
+		iv := ob.ProgressInterval
+		if iv == 0 {
+			iv = 10_000
+		}
+		ob.Progress(now)
+		ob.nextProgress = now + iv
 	}
 }
 

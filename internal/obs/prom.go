@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into the Prometheus exposition
+// alphabet ([a-zA-Z0-9_:]): the registry's dotted names ("event.pending")
+// become underscored ("event_pending"), and any other illegal rune is
+// replaced with '_'. A leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): every gauge as a gauge evaluated at cycle now,
+// every counter as a counter, and every histogram as the cumulative
+// _bucket/_sum/_count triplet. namespace, when non-empty, prefixes each
+// metric name ("smtdram" -> "smtdram_jobs_accepted_total"). Output order is
+// registration order, so two renders of the same registry diff cleanly.
+//
+// Like the rest of the registry this is single-threaded: callers scraping a
+// registry that another goroutine mutates (the serving daemon) must hold
+// their own lock around both the mutation and the render.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string, now uint64) error {
+	if r == nil {
+		return nil
+	}
+	prefix := ""
+	if namespace != "" {
+		prefix = PromName(namespace) + "_"
+	}
+	for _, g := range r.gauges {
+		name := prefix + PromName(g.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.f(now))); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.counters {
+		name := prefix + PromName(c.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.v); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.hists {
+		name := prefix + PromName(h.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.n, name, h.sum, name, h.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -44,6 +45,19 @@ func New(jobs int) *Pool {
 // Sequential is the inline-execution pool; each job runs on the submitting
 // goroutine when its future is first Waited.
 func Sequential() *Pool { return New(1) }
+
+// NewPooled builds a pool that always runs submissions on worker goroutines,
+// even at jobs == 1. The serving daemon needs this form: its futures are
+// awaited from per-flight goroutines, so lazy inline execution — which
+// assumes the submitting goroutine does the waiting, and whose Future is not
+// safe for concurrent Waits — would both race and break the concurrency
+// bound. jobs < 1 selects runtime.GOMAXPROCS(0).
+func NewPooled(jobs int) *Pool {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{jobs: jobs, sem: make(chan struct{}, jobs)}
+}
 
 // Jobs reports the concurrency bound.
 func (p *Pool) Jobs() int { return p.jobs }
@@ -127,14 +141,46 @@ func Submit[T any](p *Pool, fn func() (T, error)) *Future[T] {
 // PanicError should fn crash. Drivers running many configurations pass each
 // config's fingerprint so a panic names the exact run that died.
 func SubmitNamed[T any](p *Pool, name string, fn func() (T, error)) *Future[T] {
+	return SubmitNamedCtx(p, context.Background(), name, func(context.Context) (T, error) { return fn() })
+}
+
+// SubmitCtx is SubmitNamedCtx without a job label.
+func SubmitCtx[T any](p *Pool, ctx context.Context, fn func(context.Context) (T, error)) *Future[T] {
+	return SubmitNamedCtx(p, ctx, "", fn)
+}
+
+// SubmitNamedCtx schedules fn with a cancellation context. A job whose ctx is
+// cancelled while it is still queued (waiting for a pool slot, or awaiting a
+// lazy Wait) resolves to ctx.Err() without ever running fn, so abandoned work
+// costs no CPU; a job already running receives ctx and is expected to observe
+// the cancellation itself (core.Simulator.RunContext checks it at its
+// watchdog boundaries). Cancellation never poisons the pool: the slot is
+// released as usual and later submissions run normally.
+func SubmitNamedCtx[T any](p *Pool, ctx context.Context, name string, fn func(context.Context) (T, error)) *Future[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := func() (T, error) {
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return guard(name, func() (T, error) { return fn(ctx) })
+	}
 	if p.sem == nil {
-		return &Future[T]{fn: func() (T, error) { return guard(name, fn) }}
+		return &Future[T]{fn: run}
 	}
 	f := &Future[T]{done: make(chan struct{})}
 	go func() {
-		p.sem <- struct{}{}
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			f.err = ctx.Err()
+			close(f.done)
+			return
+		}
 		defer func() { <-p.sem }()
-		f.val, f.err = guard(name, fn)
+		f.val, f.err = run()
 		close(f.done)
 	}()
 	return f
@@ -144,7 +190,14 @@ func SubmitNamed[T any](p *Pool, name string, fn func() (T, error)) *Future[T] {
 // Get for a key submits the compute job, every later Get — concurrent or
 // not — receives the same future. The figures package uses it to run each
 // alone-IPC baseline exactly once per experiments invocation, no matter how
-// many figures (or concurrent weighted-speedup jobs) need it.
+// many figures (or concurrent weighted-speedup jobs) need it; the server's
+// result path uses it to collapse identical in-flight simulation requests
+// into one run.
+//
+// Only successes stay cached. A fn that returns an error or panics is
+// forgotten the moment it fails: concurrent Gets already holding the future
+// still see the failure (that flight is shared), but a later Get with the
+// same key re-executes instead of replaying a stale error forever.
 type Memo[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*Future[V]
@@ -152,15 +205,55 @@ type Memo[K comparable, V any] struct {
 
 // Get returns the future for key, submitting fn on p only on the first call.
 func (m *Memo[K, V]) Get(p *Pool, key K, fn func() (V, error)) *Future[V] {
+	f, _ := m.GetCtx(p, context.Background(), key, func(context.Context) (V, error) { return fn() })
+	return f
+}
+
+// GetCtx is Get with a cancellation context for the submitted job and a
+// report of whether this call started the flight (created) or joined an
+// existing one — the daemon's dedup counter. The context belongs to the
+// flight, not the caller: it is the first Get's ctx that governs the run, so
+// callers sharing a flight must manage a joint context themselves (the server
+// refcounts one per fingerprint).
+func (m *Memo[K, V]) GetCtx(p *Pool, ctx context.Context, key K, fn func(context.Context) (V, error)) (f *Future[V], created bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.m == nil {
 		m.m = make(map[K]*Future[V])
 	}
 	if f, ok := m.m[key]; ok {
-		return f
+		return f, false
 	}
-	f := Submit(p, fn)
+	f = SubmitCtx(p, ctx, func(ctx context.Context) (V, error) {
+		defer func() {
+			if r := recover(); r != nil {
+				m.Forget(key) // panic = failure: do not cache (guard rethrows as PanicError)
+				panic(r)
+			}
+		}()
+		v, err := fn(ctx)
+		if err != nil {
+			m.Forget(key)
+		}
+		return v, err
+	})
 	m.m[key] = f
-	return f
+	return f, true
+}
+
+// Forget drops key's entry so the next Get re-executes. The memo calls it
+// itself on failures; long-lived callers (the serving daemon) also call it
+// after migrating a completed value into a bounded cache so the memo tracks
+// only in-flight work and cannot grow without bound.
+func (m *Memo[K, V]) Forget(key K) {
+	m.mu.Lock()
+	delete(m.m, key)
+	m.mu.Unlock()
+}
+
+// Len reports how many entries (in-flight or cached successes) the memo holds.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
 }

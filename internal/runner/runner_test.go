@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -182,5 +183,149 @@ func TestPanicRecoveryOnLazyPool(t *testing.T) {
 	// Wait is idempotent: the second call replays the same error.
 	if _, err2 := f.Wait(); err2 != err {
 		t.Fatalf("second Wait = %v, want the cached %v", err2, err)
+	}
+}
+
+func TestSubmitCtxCancelledWhileQueuedNeverRuns(t *testing.T) {
+	p := New(2)
+	// Occupy both slots so a third submission must queue.
+	var release sync.WaitGroup
+	release.Add(1)
+	for i := 0; i < 2; i++ {
+		Submit(p, func() (int, error) { release.Wait(); return 0, nil })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	queued := SubmitCtx(p, ctx, func(context.Context) (int, error) {
+		ran.Store(true)
+		return 1, nil
+	})
+	cancel()
+	if _, err := queued.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued job returned %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("cancelled queued job ran its fn")
+	}
+	release.Done()
+	// The pool is not poisoned: later submissions still run.
+	if v, err := Submit(p, func() (int, error) { return 9, nil }).Wait(); err != nil || v != 9 {
+		t.Fatalf("post-cancel submission = %d, %v", v, err)
+	}
+}
+
+func TestSubmitCtxCancelledOnLazyPool(t *testing.T) {
+	p := Sequential()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran bool
+	f := SubmitNamedCtx(p, ctx, "lazy", func(context.Context) (int, error) { ran = true; return 1, nil })
+	cancel()
+	if _, err := f.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("lazy cancelled job returned %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("lazy cancelled job ran its fn")
+	}
+}
+
+func TestSubmitCtxPassesContextThrough(t *testing.T) {
+	p := New(2)
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "here")
+	f := SubmitCtx(p, ctx, func(ctx context.Context) (string, error) {
+		v, _ := ctx.Value(key{}).(string)
+		return v, nil
+	})
+	if v, err := f.Wait(); err != nil || v != "here" {
+		t.Fatalf("fn saw ctx value %q, err %v", v, err)
+	}
+}
+
+func TestMemoErrorNotCached(t *testing.T) {
+	p := New(2)
+	var memo Memo[string, int]
+	var calls atomic.Int32
+	boom := errors.New("flaky")
+	fn := func() (int, error) {
+		if calls.Add(1) == 1 {
+			return 0, boom
+		}
+		return 42, nil
+	}
+	if _, err := memo.Get(p, "k", fn).Wait(); !errors.Is(err, boom) {
+		t.Fatalf("first flight returned %v, want the injected error", err)
+	}
+	// The failure must not be cached: a later Get re-executes.
+	if v, err := memo.Get(p, "k", fn).Wait(); err != nil || v != 42 {
+		t.Fatalf("retry after error = %d, %v; want 42, nil", v, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2", got)
+	}
+	// The success IS cached: a third Get does not re-execute.
+	if v, err := memo.Get(p, "k", fn).Wait(); err != nil || v != 42 {
+		t.Fatalf("cached success = %d, %v", v, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fn ran %d times after success, want still 2", got)
+	}
+}
+
+func TestMemoPanicNotCached(t *testing.T) {
+	for _, jobs := range []int{1, 4} { // lazy and pooled execution paths
+		p := New(jobs)
+		var memo Memo[string, int]
+		calls := 0
+		var mu sync.Mutex
+		fn := func() (int, error) {
+			mu.Lock()
+			calls++
+			first := calls == 1
+			mu.Unlock()
+			if first {
+				panic("injected memo panic")
+			}
+			return 7, nil
+		}
+		_, err := memo.Get(p, "k", fn).Wait()
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: first flight returned %v, want *PanicError", jobs, err)
+		}
+		if v, err := memo.Get(p, "k", fn).Wait(); err != nil || v != 7 {
+			t.Fatalf("jobs=%d: retry after panic = %d, %v; want 7, nil", jobs, v, err)
+		}
+		if memo.Len() != 1 {
+			t.Fatalf("jobs=%d: memo holds %d entries, want 1 cached success", jobs, memo.Len())
+		}
+	}
+}
+
+func TestMemoGetCtxReportsCreated(t *testing.T) {
+	p := New(2)
+	var memo Memo[string, int]
+	var release sync.WaitGroup
+	release.Add(1)
+	f1, created := memo.GetCtx(p, context.Background(), "k", func(context.Context) (int, error) {
+		release.Wait()
+		return 3, nil
+	})
+	if !created {
+		t.Fatal("first GetCtx must report created")
+	}
+	f2, created := memo.GetCtx(p, context.Background(), "k", func(context.Context) (int, error) { return 0, nil })
+	if created {
+		t.Fatal("second GetCtx must join the in-flight future")
+	}
+	if f1 != f2 {
+		t.Fatal("joined flight returned a different future")
+	}
+	release.Done()
+	if v, err := f2.Wait(); err != nil || v != 3 {
+		t.Fatalf("joined flight = %d, %v", v, err)
+	}
+	memo.Forget("k")
+	if memo.Len() != 0 {
+		t.Fatalf("after Forget, memo holds %d entries", memo.Len())
 	}
 }

@@ -1,0 +1,255 @@
+// Package client is the Go client for the smtdramd daemon (internal/server):
+// typed submission, polling, cancellation, SSE progress consumption, and a
+// load generator the benchmark suite uses to measure the serving path.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"smtdram/internal/server"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// New builds a client for baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RetryAfterError is returned when the daemon sheds load (429): the queue was
+// full and the caller should wait After before resubmitting.
+type RetryAfterError struct {
+	After time.Duration
+	Msg   string
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("server busy (retry after %s): %s", e.After, e.Msg)
+}
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	Code int
+	Msg  string
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("server returned %d: %s", e.Code, e.Msg) }
+
+// errorBody extracts the {"error": ...} payload.
+func errorBody(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			after = time.Duration(v) * time.Second
+		}
+		return &RetryAfterError{After: after, Msg: errorBody(raw)}
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &APIError{Code: resp.StatusCode, Msg: errorBody(raw)}
+	}
+	if out == nil {
+		return nil
+	}
+	if rawOut, ok := out.(*json.RawMessage); ok {
+		*rawOut = raw
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// SubmitSim submits a simulation, returning its job status (state "done"
+// immediately on a cache hit).
+func (c *Client) SubmitSim(ctx context.Context, req server.SimRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sim", req, &st)
+	return st, err
+}
+
+// SubmitFigure submits a figure sweep.
+func (c *Client) SubmitFigure(ctx context.Context, req server.FigRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/figures", req, &st)
+	return st, err
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a done job's raw result bytes — the payload that is
+// byte-identical to `smtdram -json` for the same configuration.
+func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
+	return raw, err
+}
+
+// Cancel aborts a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state, at the given interval
+// (default 10ms), or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Event is one server-sent event from a job's stream.
+type Event struct {
+	// Name is "progress" or a terminal state ("done", "failed", "cancelled").
+	Name string
+	// Data is the event payload: a core.Progress sample for progress
+	// events, a JobStatus for terminal ones.
+	Data json.RawMessage
+}
+
+// Events consumes a job's SSE stream, invoking fn per event until the
+// terminal event (after which it returns nil) or ctx/stream end.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return &APIError{Code: resp.StatusCode, Msg: errorBody(raw)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		case line == "" && ev.Name != "":
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Name != "progress" {
+				return nil // terminal event
+			}
+			ev = Event{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF // stream ended without a terminal event
+}
+
+// MetricValue scrapes /metrics and returns the value of one metric by its
+// exposition name (e.g. "smtdram_jobs_cached_total").
+func (c *Client) MetricValue(ctx context.Context, name string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, &APIError{Code: resp.StatusCode, Msg: errorBody(raw)}
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseFloat(fields[1], 64)
+		}
+	}
+	return 0, fmt.Errorf("client: metric %q not found", name)
+}

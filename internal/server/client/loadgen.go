@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"smtdram/internal/server"
+)
+
+// LoadGenConfig shapes one load-generation run against a daemon.
+type LoadGenConfig struct {
+	// Requests is the total number of submissions (default 100).
+	Requests int
+	// Clients is the number of concurrent submitters (default 8).
+	Clients int
+	// Mix is the request pool, cycled round-robin across submissions.
+	// Repetition within the pool is what exercises the result cache and the
+	// single-flight dedup. Empty selects DefaultLoadMix.
+	Mix []server.SimRequest
+	// Poll is the completion-poll interval (default 10ms).
+	Poll time.Duration
+}
+
+// DefaultLoadMix is a small mixed-configuration pool: a handful of distinct
+// machines, each appearing more than once across a run so a warm daemon
+// serves a healthy fraction from cache and dedup.
+func DefaultLoadMix() []server.SimRequest {
+	w, t := uint64(2_000), uint64(10_000)
+	var reqs []server.SimRequest
+	for _, apps := range [][]string{{"mcf"}, {"ammp"}, {"mcf", "ammp"}, {"swim", "mcf"}} {
+		for _, seed := range []int64{42, 7} {
+			seed := seed
+			reqs = append(reqs, server.SimRequest{Apps: apps, Warmup: &w, Target: &t, Seed: &seed})
+		}
+	}
+	reqs = append(reqs,
+		server.SimRequest{Apps: []string{"mcf"}, Warmup: &w, Target: &t, Policy: "fcfs"},
+		server.SimRequest{Apps: []string{"mcf"}, Warmup: &w, Target: &t, PageMode: "close"},
+	)
+	return reqs
+}
+
+// LoadGenReport is the measured outcome of a load-generation run.
+type LoadGenReport struct {
+	Requests       int     `json:"requests"`
+	Completed      int     `json:"completed"`
+	Failed         int     `json:"failed"`
+	Rejections     int     `json:"rejections_429"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	// CacheHitRatio is (cached + deduped) / accepted over the run, from the
+	// daemon's own counters.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	SimsRun       float64 `json:"sims_run"`
+}
+
+// LoadGen drives the daemon with Requests submissions from Clients
+// concurrent workers, waits for every job, and reports throughput, latency
+// percentiles, and the cache-hit ratio. A 429 backs the worker off by the
+// server's Retry-After and retries the same request (counted, never
+// dropped); any accepted job that fails fails the run's Completed count.
+func (c *Client) LoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultLoadMix()
+	}
+
+	before := snapshotCounters(ctx, c)
+
+	var (
+		mu         sync.Mutex
+		latencies  []float64
+		failed     int
+		rejections int
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := cfg.Mix[i%len(cfg.Mix)]
+				t0 := time.Now()
+				st, err := c.submitWithBackoff(ctx, req, &mu, &rejections)
+				if err == nil && !st.State.Terminal() {
+					st, err = c.Wait(ctx, st.ID, cfg.Poll)
+				}
+				lat := time.Since(t0).Seconds() * 1000
+				mu.Lock()
+				if err != nil || st.State != server.StateDone {
+					failed++
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return LoadGenReport{}, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after := snapshotCounters(ctx, c)
+
+	sort.Float64s(latencies)
+	rep := LoadGenReport{
+		Requests:    cfg.Requests,
+		Completed:   len(latencies),
+		Failed:      failed,
+		Rejections:  rejections,
+		WallSeconds: wall.Seconds(),
+		P50Ms:       percentile(latencies, 0.50),
+		P90Ms:       percentile(latencies, 0.90),
+		P99Ms:       percentile(latencies, 0.99),
+		SimsRun:     after["smtdram_sims_run_total"] - before["smtdram_sims_run_total"],
+	}
+	if wall > 0 {
+		rep.RequestsPerSec = float64(len(latencies)) / wall.Seconds()
+	}
+	accepted := after["smtdram_jobs_accepted_total"] - before["smtdram_jobs_accepted_total"]
+	hits := (after["smtdram_jobs_cached_total"] - before["smtdram_jobs_cached_total"]) +
+		(after["smtdram_jobs_deduped_total"] - before["smtdram_jobs_deduped_total"])
+	if accepted > 0 {
+		rep.CacheHitRatio = hits / accepted
+	}
+	if failed > 0 {
+		return rep, fmt.Errorf("client: %d of %d requests failed", failed, cfg.Requests)
+	}
+	return rep, nil
+}
+
+// submitWithBackoff retries 429s after the server's Retry-After; any other
+// error is final.
+func (c *Client) submitWithBackoff(ctx context.Context, req server.SimRequest, mu *sync.Mutex, rejections *int) (server.JobStatus, error) {
+	for {
+		st, err := c.SubmitSim(ctx, req)
+		var retry *RetryAfterError
+		if !errors.As(err, &retry) {
+			return st, err
+		}
+		mu.Lock()
+		*rejections++
+		mu.Unlock()
+		select {
+		case <-time.After(retry.After):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+func snapshotCounters(ctx context.Context, c *Client) map[string]float64 {
+	out := map[string]float64{}
+	for _, name := range []string{
+		"smtdram_jobs_accepted_total", "smtdram_jobs_cached_total",
+		"smtdram_jobs_deduped_total", "smtdram_sims_run_total",
+	} {
+		v, err := c.MetricValue(ctx, name)
+		if err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; configurations are tiny.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp := "sim|" + cfg.Fingerprint()
+	s.submit(w, "sim", fp, func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return s.simFlightFn(fl, cfg)
+	})
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	var req FigRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Validate the figure name up front so a typo is a 400, not a failed job.
+	if err := (FigRequest{Fig: req.Fig}).validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.submit(w, "figure", "fig|"+req.key(), func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return s.figFlightFn(fl, req)
+	})
+}
+
+// jobFromPath resolves the {id} path value, writing a 404 on a miss.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+// handleJobResult serves the raw result bytes — exactly what a CLI
+// `smtdram -json` run with the same configuration prints, byte for byte.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, result, errMsg := j.state, j.result, j.errMsg
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case StateFailed:
+		writeErr(w, http.StatusInternalServerError, errMsg)
+	case StateCancelled:
+		writeErr(w, http.StatusGone, "job was cancelled")
+	default:
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s; poll until done", state))
+	}
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+
+	// Detach from the flight first so a concurrent completion cannot race a
+	// double cancel; the last job off a flight cancels the simulation.
+	s.mu.Lock()
+	fl := j.flight
+	var cancelFlight bool
+	if fl != nil {
+		j.flight = nil
+		for i, jj := range fl.jobs {
+			if jj == j {
+				fl.jobs = append(fl.jobs[:i], fl.jobs[i+1:]...)
+				break
+			}
+		}
+		fl.refs--
+		cancelFlight = fl.refs == 0
+	}
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	already := j.state.Terminal()
+	if !already {
+		j.state = StateCancelled
+		for _, ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+	dur := time.Since(j.created)
+	j.mu.Unlock()
+
+	if !already {
+		s.releaseSlot(j)
+		s.count(s.mCancelled)
+		s.observeLatency(dur)
+		s.logf("job %s cancelled after %s (flight cancelled: %v)", j.id, dur.Truncate(time.Millisecond), cancelFlight)
+	}
+	if cancelFlight {
+		fl.cancel()
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// subscribe registers an SSE listener on j. The returned channel receives
+// progress samples and is closed at the job's terminal transition; a nil
+// channel means the job is already terminal. cancelSub removes the
+// registration (client hung up early).
+func (j *job) subscribe() (ch chan []byte, cancelSub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return nil, func() {}
+	}
+	ch = make(chan []byte, 16)
+	j.subs = append(j.subs, ch)
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// handleJobEvents streams a job's life as server-sent events: zero or more
+// `progress` events (core.Progress samples: cycle, committed, IPC,
+// outstanding requests, pending events, skip stats), then exactly one
+// terminal event named after the final state (`done`, `failed`, or
+// `cancelled`) carrying the JobStatus.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	ch, cancelSub := j.subscribe()
+	defer cancelSub()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(event string, data []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	terminal := func() {
+		st := j.status(false) // results can be large; clients fetch them via /result
+		b, _ := json.Marshal(st)
+		emit(string(st.State), b)
+	}
+
+	if ch == nil { // already terminal
+		terminal()
+		return
+	}
+	for {
+		select {
+		case sample, open := <-ch:
+			if !open {
+				terminal()
+				return
+			}
+			emit("progress", sample)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	_ = s.reg.WritePrometheus(w, "smtdram", uint64(time.Since(s.startedAt)/time.Second))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	inflight := len(s.flights)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+		Jobs     int    `json:"jobs_tracked"`
+		Flights  int    `json:"flights_inflight"`
+		Queue    int    `json:"queue_depth"`
+	}{Status: "ok", Draining: s.draining.Load(), Jobs: tracked, Flights: inflight, Queue: len(s.slots)})
+}

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingFn builds a submit fn that parks until release fires (or the flight
+// context is cancelled), counting executions.
+func blockingFn(release <-chan struct{}, out json.RawMessage, runs *atomic.Int64) func(*flight) func(context.Context) (json.RawMessage, error) {
+	return func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return func(ctx context.Context) (json.RawMessage, error) {
+			if runs != nil {
+				runs.Add(1)
+			}
+			select {
+			case <-release:
+				return out, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+}
+
+func decodeStatus(t *testing.T, rec *httptest.ResponseRecorder) JobStatus {
+	t.Helper()
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decoding response %q: %v", rec.Body.String(), err)
+	}
+	return st
+}
+
+// waitState polls a job until it reaches want (or the deadline).
+func waitState(t *testing.T, s *Server, id string, want State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j == nil {
+			t.Fatalf("job %s vanished", id)
+		}
+		st := j.status(true)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDedupSharesOneFlight is the acceptance check for single-flight dedup:
+// two identical in-flight submissions must run exactly one computation, and
+// both jobs must complete with the same bytes.
+func TestDedupSharesOneFlight(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Close()
+
+	release := make(chan struct{})
+	var runs atomic.Int64
+	fn := blockingFn(release, json.RawMessage(`{"v":1}`), &runs)
+
+	rec1 := httptest.NewRecorder()
+	s.submit(rec1, "sim", "fp-x", fn)
+	rec2 := httptest.NewRecorder()
+	s.submit(rec2, "sim", "fp-x", fn)
+	if rec1.Code != http.StatusAccepted || rec2.Code != http.StatusAccepted {
+		t.Fatalf("codes = %d, %d; want both 202", rec1.Code, rec2.Code)
+	}
+	st1, st2 := decodeStatus(t, rec1), decodeStatus(t, rec2)
+	if st1.Deduped {
+		t.Fatalf("first submission must not be marked deduped")
+	}
+	if !st2.Deduped {
+		t.Fatalf("second identical submission must join the first's flight")
+	}
+
+	close(release)
+	got1 := waitState(t, s, st1.ID, StateDone)
+	got2 := waitState(t, s, st2.ID, StateDone)
+	if runs.Load() != 1 {
+		t.Fatalf("computation ran %d times, want exactly 1", runs.Load())
+	}
+	if string(got1.Result) != `{"v":1}` || string(got2.Result) != `{"v":1}` {
+		t.Fatalf("results = %q, %q; want both {\"v\":1}", got1.Result, got2.Result)
+	}
+}
+
+// TestBackpressure429 checks admission control: a full queue rejects with 429
+// and Retry-After, and completing a job frees its slot.
+func TestBackpressure429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	release := make(chan struct{})
+	fn := blockingFn(release, json.RawMessage(`{}`), nil)
+
+	rec1 := httptest.NewRecorder()
+	s.submit(rec1, "sim", "fp-a", fn)
+	if rec1.Code != http.StatusAccepted {
+		t.Fatalf("first submission: %d, want 202", rec1.Code)
+	}
+	rec2 := httptest.NewRecorder()
+	s.submit(rec2, "sim", "fp-b", blockingFn(release, json.RawMessage(`{}`), nil))
+	if rec2.Code != http.StatusTooManyRequests {
+		t.Fatalf("second submission: %d, want 429", rec2.Code)
+	}
+	if got := rec2.Result().Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+
+	close(release)
+	waitState(t, s, decodeStatus(t, rec1).ID, StateDone)
+
+	rec3 := httptest.NewRecorder()
+	s.submit(rec3, "sim", "fp-c", blockingFn(nil, nil, nil))
+	if rec3.Code != http.StatusAccepted {
+		t.Fatalf("submission after slot freed: %d, want 202", rec3.Code)
+	}
+}
+
+// TestCancelFreesSlotAndCancelsFlight checks DELETE: the job goes to
+// cancelled, the underlying computation sees context cancellation, the
+// admission slot frees, and the terminal state survives the flight unwinding.
+func TestCancelFreesSlotAndCancelsFlight(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sawCancel := make(chan struct{})
+	rec := httptest.NewRecorder()
+	s.submit(rec, "sim", "fp-cancel", func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return func(ctx context.Context) (json.RawMessage, error) {
+			<-ctx.Done()
+			close(sawCancel)
+			return nil, ctx.Err()
+		}
+	})
+	st := decodeStatus(t, rec)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d, want 200", resp.StatusCode)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state after DELETE = %s, want cancelled", got.State)
+	}
+
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("computation never observed cancellation")
+	}
+
+	// The slot must free: a new submission is admitted with QueueDepth 1.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec2 := httptest.NewRecorder()
+		s.submit(rec2, "sim", "fp-after", blockingFn(nil, nil, nil))
+		if rec2.Code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after cancel (last code %d)", rec2.Code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// And cancelled must stick even after the flight's error unwinds.
+	time.Sleep(10 * time.Millisecond)
+	final := waitState(t, s, st.ID, StateCancelled)
+	if final.State != StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", final.State)
+	}
+}
+
+// TestCancelOneDedupedSiblingKeepsOther: deleting one of two deduped jobs
+// must not cancel the shared simulation; the surviving job still completes.
+func TestCancelOneDedupedSiblingKeepsOther(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	fn := blockingFn(release, json.RawMessage(`{"kept":true}`), nil)
+	rec1 := httptest.NewRecorder()
+	s.submit(rec1, "sim", "fp-shared", fn)
+	rec2 := httptest.NewRecorder()
+	s.submit(rec2, "sim", "fp-shared", fn)
+	st1, st2 := decodeStatus(t, rec1), decodeStatus(t, rec2)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st2.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	close(release)
+	got := waitState(t, s, st1.ID, StateDone)
+	if string(got.Result) != `{"kept":true}` {
+		t.Fatalf("surviving sibling result = %q", got.Result)
+	}
+	waitState(t, s, st2.ID, StateCancelled)
+}
+
+// TestSSEStreamDeterministic drives the event stream end to end with a
+// hand-rolled computation: subscribe, emit one progress sample, finish, and
+// check the wire framing.
+func TestSSEStreamDeterministic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	subscribed := make(chan struct{})
+	release := make(chan struct{})
+	rec := httptest.NewRecorder()
+	s.submit(rec, "sim", "fp-sse", func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return func(ctx context.Context) (json.RawMessage, error) {
+			select {
+			case <-subscribed:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			s.broadcastProgress(fl, []byte(`{"cycle":42}`))
+			select {
+			case <-release:
+				return json.RawMessage(`{"done":true}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	})
+	st := decodeStatus(t, rec)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// Wait for the handler to register its subscription, then let the
+	// computation emit.
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	s.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j.mu.Lock()
+		n := len(j.subs)
+		j.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SSE handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(subscribed)
+
+	sc := bufio.NewScanner(resp.Body)
+	readEvent := func() (name, data string) {
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && name != "":
+				return name, data
+			}
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+		return "", ""
+	}
+
+	name, data := readEvent()
+	if name != "progress" || data != `{"cycle":42}` {
+		t.Fatalf("first event = %q %q, want progress {\"cycle\":42}", name, data)
+	}
+	close(release)
+	name, data = readEvent()
+	if name != "done" {
+		t.Fatalf("terminal event = %q, want done", name)
+	}
+	var final JobStatus
+	if err := json.Unmarshal([]byte(data), &final); err != nil || final.State != StateDone {
+		t.Fatalf("terminal payload = %q (err %v), want a done JobStatus", data, err)
+	}
+}
+
+// TestFailedFlightNotCached: a failing computation must not poison the cache
+// or the memo — a later identical submission runs again.
+func TestFailedFlightNotCached(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+
+	var runs atomic.Int64
+	fail := func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return func(ctx context.Context) (json.RawMessage, error) {
+			runs.Add(1)
+			return nil, context.DeadlineExceeded
+		}
+	}
+	rec1 := httptest.NewRecorder()
+	s.submit(rec1, "sim", "fp-fail", fail)
+	st1 := decodeStatus(t, rec1)
+	waitState(t, s, st1.ID, StateFailed)
+
+	rec2 := httptest.NewRecorder()
+	s.submit(rec2, "sim", "fp-fail", fail)
+	if rec2.Code != http.StatusAccepted {
+		t.Fatalf("resubmission after failure: %d, want 202 (not served from cache)", rec2.Code)
+	}
+	st2 := decodeStatus(t, rec2)
+	if st2.Cached {
+		t.Fatalf("failed result must not be cached")
+	}
+	waitState(t, s, st2.ID, StateFailed)
+	if runs.Load() != 2 {
+		t.Fatalf("computation ran %d times, want 2 (failure not memoised)", runs.Load())
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used result cache keyed by
+// configuration fingerprint. Values are the marshalled core.Result (or
+// rendered figure) bytes — immutable once stored, so readers can hand them
+// straight to responses without copying. Not safe for concurrent use; the
+// server guards it with its own mutex.
+type lruCache struct {
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes for key, promoting the entry on a hit.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add stores key's bytes, evicting the least-recently-used entry when full.
+// Re-adding an existing key refreshes its value and recency.
+func (c *lruCache) add(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*lruEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+func (c *lruCache) len() int { return len(c.entries) }

@@ -1,0 +1,72 @@
+package server
+
+import "testing"
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", []byte("1"))
+	c.add("b", []byte("2"))
+	c.add("c", []byte("3")) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatalf("a should have been evicted")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s should still be cached", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUGetPromotes(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", []byte("1"))
+	c.add("b", []byte("2"))
+	if _, ok := c.get("a"); !ok { // a is now most recent
+		t.Fatalf("a should be cached")
+	}
+	c.add("c", []byte("3")) // evicts b, not a
+	if _, ok := c.get("b"); ok {
+		t.Fatalf("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatalf("a should have survived via promotion")
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", []byte("1"))
+	c.add("a", []byte("2"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 after re-add", c.len())
+	}
+	b, ok := c.get("a")
+	if !ok || string(b) != "2" {
+		t.Fatalf("get(a) = %q, %v; want \"2\", true", b, ok)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(-1)
+	c.add("a", []byte("1"))
+	if _, ok := c.get("a"); ok {
+		t.Fatalf("disabled cache must not store entries")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d, want 0", c.len())
+	}
+}
+
+func TestLRUCounters(t *testing.T) {
+	c := newLRU(4)
+	c.add("a", []byte("1"))
+	c.get("a")
+	c.get("a")
+	c.get("missing")
+	if c.hits != 2 || c.misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", c.hits, c.misses)
+	}
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"smtdram/internal/addrmap"
+	"smtdram/internal/core"
+	"smtdram/internal/cpu"
+	"smtdram/internal/dram"
+	"smtdram/internal/faults"
+	"smtdram/internal/figures"
+	"smtdram/internal/memctrl"
+	"smtdram/internal/workload"
+)
+
+// SimRequest is the wire form of one simulation submission: the same knobs
+// cmd/smtdram exposes as flags, with the same defaults, so a request that
+// mirrors a CLI invocation builds the identical core.Config — the root of the
+// byte-identical guarantee. Zero values mean "default", matching the CLI.
+type SimRequest struct {
+	// Mix names a Table 2 mix (overrides Apps), Apps lists one application
+	// per hardware thread.
+	Mix  string   `json:"mix,omitempty"`
+	Apps []string `json:"apps,omitempty"`
+	// Channels (default 2) and Gang (default 1) shape the memory system.
+	Channels int `json:"channels,omitempty"`
+	Gang     int `json:"gang,omitempty"`
+	// DRAM is "ddr" (default) or "rdram".
+	DRAM string `json:"dram,omitempty"`
+	// Scheme is "xor" (default) or "page".
+	Scheme string `json:"scheme,omitempty"`
+	// PageMode is "open" (default) or "close".
+	PageMode string `json:"pagemode,omitempty"`
+	// Policy is the access-scheduling policy (default "hit-first").
+	Policy string `json:"policy,omitempty"`
+	// Fetch is the SMT fetch policy (default "dwarn").
+	Fetch string `json:"fetch,omitempty"`
+	// Warmup and Target are per-thread instruction counts (defaults 100 000
+	// and 200 000, the CLI's). Pointers so an explicit 0 warmup survives.
+	Warmup *uint64 `json:"warmup,omitempty"`
+	Target *uint64 `json:"target,omitempty"`
+	// Seed drives the workload generators (default 42).
+	Seed *int64 `json:"seed,omitempty"`
+	// Faults is a fault-injection spec in the CLI's -faults syntax.
+	Faults string `json:"faults,omitempty"`
+}
+
+// Config materializes the request into a validated core.Config.
+func (r SimRequest) Config() (core.Config, error) {
+	names := r.Apps
+	if r.Mix != "" {
+		m, err := workload.MixByName(r.Mix)
+		if err != nil {
+			return core.Config{}, err
+		}
+		names = m.Apps
+	}
+	if len(names) == 0 {
+		return core.Config{}, fmt.Errorf("server: request names no applications (set apps or mix)")
+	}
+	// Resolve every app name now so a typo is a 400, not a failed job.
+	for _, name := range names {
+		if _, err := workload.ByName(name); err != nil {
+			return core.Config{}, err
+		}
+	}
+	cfg := core.DefaultConfig(names...)
+	if r.Warmup != nil {
+		cfg.WarmupInstr = *r.Warmup
+	}
+	if r.Target != nil {
+		cfg.TargetInstr = *r.Target
+	}
+	if r.Seed != nil {
+		cfg.Seed = *r.Seed
+	}
+	if r.Channels != 0 {
+		cfg.Mem.PhysChannels = r.Channels
+	}
+	if r.Gang != 0 {
+		cfg.Mem.Gang = r.Gang
+	}
+	var err error
+	if r.DRAM != "" {
+		if cfg.Mem.Kind, err = core.ParseDRAMKind(r.DRAM); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if r.Policy != "" {
+		if cfg.Mem.Policy, err = memctrl.ParsePolicy(r.Policy); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if r.Fetch != "" {
+		if cfg.CPU.Policy, err = cpu.ParseFetchPolicy(r.Fetch); err != nil {
+			return core.Config{}, err
+		}
+	}
+	switch strings.ToLower(r.Scheme) {
+	case "", "xor":
+		cfg.Mem.Scheme = addrmap.XOR
+	case "page":
+		cfg.Mem.Scheme = addrmap.Page
+	default:
+		return core.Config{}, fmt.Errorf("server: unknown mapping scheme %q (want page or xor)", r.Scheme)
+	}
+	switch strings.ToLower(r.PageMode) {
+	case "", "open":
+		cfg.Mem.PageMode = dram.OpenPage
+	case "close":
+		cfg.Mem.PageMode = dram.ClosePage
+	default:
+		return core.Config{}, fmt.Errorf("server: unknown page mode %q (want open or close)", r.PageMode)
+	}
+	if cfg.Faults, err = faults.Parse(r.Faults); err != nil {
+		return core.Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// FigRequest submits one figure sweep from the paper's evaluation.
+type FigRequest struct {
+	// Fig selects the sweep: "table2" or "1".."10".
+	Fig string `json:"fig"`
+	// Warmup, Target, Seed mirror figures.Options (0 = that package's
+	// defaults: 100k/100k/42).
+	Warmup uint64 `json:"warmup,omitempty"`
+	Target uint64 `json:"target,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// key is the result-cache key. Jobs is deliberately absent: figure output is
+// byte-identical at any worker count, so all concurrency levels share one
+// cache entry.
+func (r FigRequest) key() string {
+	return fmt.Sprintf("fig=%s warm=%d target=%d seed=%d", r.Fig, r.Warmup, r.Target, r.Seed)
+}
+
+// validate rejects unknown figure names without running anything.
+func (r FigRequest) validate() error {
+	switch r.Fig {
+	case "table2", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10":
+		return nil
+	}
+	return fmt.Errorf("server: unknown figure %q (want table2 or 1..10)", r.Fig)
+}
+
+// run executes the figure sweep with the given internal parallelism, writing
+// the rendered table to w.
+func (r FigRequest) run(jobs int, w io.Writer) error {
+	o := figures.Options{Warmup: r.Warmup, Target: r.Target, Seed: r.Seed, Jobs: jobs}
+	switch r.Fig {
+	case "table2":
+		figures.PrintTable2(w)
+		return nil
+	case "1":
+		rows, err := figures.Fig1(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig1(w, rows)
+	case "2":
+		cells, err := figures.Fig2(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig2(w, cells)
+	case "3":
+		rows, err := figures.Fig3(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig3(w, rows)
+	case "4", "5":
+		rows, err := figures.Fig4and5(o)
+		if err != nil {
+			return err
+		}
+		if r.Fig == "4" {
+			figures.PrintFig4(w, rows)
+		} else {
+			figures.PrintFig5(w, rows)
+		}
+	case "6":
+		rows, err := figures.Fig6(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig6(w, rows)
+	case "7":
+		rows, err := figures.Fig7(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig7(w, rows)
+	case "8":
+		rows, err := figures.Fig8(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintMapping(w, "Figure 8: row-buffer miss rates, 2-channel DDR", rows)
+	case "9":
+		rows, err := figures.Fig9(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintMapping(w, "Figure 9: row-buffer miss rates, 2-channel Direct Rambus", rows)
+	case "10":
+		cells, err := figures.Fig10(o)
+		if err != nil {
+			return err
+		}
+		figures.PrintFig10(w, cells)
+	default:
+		return fmt.Errorf("server: unknown figure %q (want table2 or 1..10)", r.Fig)
+	}
+	return nil
+}

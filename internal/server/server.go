@@ -1,0 +1,586 @@
+// Package server is the simulation-as-a-service daemon behind cmd/smtdramd:
+// an HTTP/JSON API that accepts simulation and figure-sweep submissions,
+// runs them on a bounded worker pool, and serves results from a
+// fingerprint-keyed LRU cache with single-flight deduplication of identical
+// in-flight requests.
+//
+// The serving contract mirrors the CLI exactly: a submitted configuration
+// produces a core.Result byte-identical to `smtdram -json` with the same
+// knobs, because both paths build the same core.Config and marshal the same
+// struct. On top of that the daemon adds the serving machinery a sweep
+// workload wants: admission control (429 + Retry-After when the queue is
+// full), request dedup (two identical in-flight submissions share one
+// simulation), result caching (a repeated configuration is answered without
+// simulating), per-job cancellation threaded into the run loop, streaming
+// progress over SSE, Prometheus metrics, and graceful drain.
+//
+// Endpoints:
+//
+//	POST   /v1/sim             submit a simulation (SimRequest) -> JobStatus
+//	POST   /v1/figures         submit a figure sweep (FigRequest) -> JobStatus
+//	GET    /v1/jobs/{id}       poll a job -> JobStatus (result inline when done)
+//	GET    /v1/jobs/{id}/result raw result bytes (the byte-identical payload)
+//	GET    /v1/jobs/{id}/events SSE progress stream (progress*, then done)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /metrics            Prometheus text exposition
+//	GET    /healthz            liveness + drain state
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smtdram/internal/core"
+	"smtdram/internal/obs"
+	"smtdram/internal/runner"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// QueueDepth bounds how many jobs may be queued or running at once
+	// (admission control; default 64). Submissions beyond it get 429.
+	QueueDepth int
+	// Workers bounds how many simulations run concurrently (default
+	// GOMAXPROCS). Figure sweeps use the same value for their internal
+	// parallelism.
+	Workers int
+	// CacheEntries is the result cache capacity (default 256; 0 keeps the
+	// default, negative disables caching).
+	CacheEntries int
+	// ProgressInterval is the minimum simulated-cycle gap between streamed
+	// progress samples (default 10 000).
+	ProgressInterval uint64
+	// MaxTrackedJobs bounds the job table; the oldest finished jobs are
+	// forgotten beyond it (default 4096).
+	MaxTrackedJobs int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = 10_000
+	}
+	if c.MaxTrackedJobs <= 0 {
+		c.MaxTrackedJobs = 4096
+	}
+	return c
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the wire form of a job.
+type JobStatus struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	State       State  `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	// Cached marks a submission answered straight from the result cache;
+	// Deduped marks one that joined another submission's in-flight run.
+	Cached  bool `json:"cached,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Error is set on failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the raw result payload, present once State is done.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Progress is the latest streamed progress sample, if any arrived.
+	Progress json.RawMessage `json:"progress,omitempty"`
+}
+
+// job is one tracked submission.
+type job struct {
+	id      string
+	kind    string // "sim" or "figure"
+	fp      string
+	created time.Time
+	deduped bool
+	cached  bool
+
+	// flight is the in-flight computation this job is attached to (nil once
+	// resolved or detached). Guarded by Server.mu.
+	flight *flight
+
+	mu        sync.Mutex
+	state     State
+	result    []byte
+	errMsg    string
+	progress  []byte
+	subs      []chan []byte
+	slotFreed bool
+}
+
+// status snapshots the job for the wire. includeResult controls whether the
+// (possibly large) result payload rides along.
+func (j *job) status(includeResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Kind: j.kind, State: j.state, Fingerprint: j.fp,
+		Cached: j.cached, Deduped: j.deduped, Error: j.errMsg,
+		Progress: j.progress,
+	}
+	if includeResult && j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// flight is one in-flight computation, shared by every job submitted with
+// the same fingerprint while it runs. Exactly one goroutine (awaitFlight)
+// waits on the future, so the pool's lazy single-worker mode stays safe.
+type flight struct {
+	fp     string
+	ctx    context.Context
+	cancel context.CancelFunc
+	fut    *runner.Future[json.RawMessage]
+	// refs counts attached (undetached) jobs; the last cancellation cancels
+	// the context. jobs lists them for progress broadcast and completion.
+	// Both guarded by Server.mu.
+	refs    int
+	jobs    []*job
+	started bool
+}
+
+// Server is the daemon. Build with New, mount Handler, and Drain on
+// shutdown.
+type Server struct {
+	cfg  Config
+	pool *runner.Pool
+	memo runner.Memo[string, json.RawMessage]
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	jobOrder  []string // insertion order, for bounded retention
+	flights   map[string]*flight
+	cache     *lruCache
+	startedAt time.Time
+
+	slots    chan struct{} // admission tokens: queued + running jobs
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	draining atomic.Bool
+	nextID   atomic.Uint64
+
+	// Server metrics live in an obs.Registry rendered by /metrics; the
+	// registry is single-threaded, so metricsMu guards every touch.
+	metricsMu  sync.Mutex
+	reg        *obs.Registry
+	mAccepted  *obs.Counter
+	mRejected  *obs.Counter
+	mDeduped   *obs.Counter
+	mCached    *obs.Counter
+	mCompleted *obs.Counter
+	mFailed    *obs.Counter
+	mCancelled *obs.Counter
+	mSimsRun   *obs.Counter
+	mFigsRun   *obs.Counter
+	latency    *obs.Histogram
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		pool:      runner.NewPooled(cfg.Workers),
+		jobs:      map[string]*job{},
+		flights:   map[string]*flight{},
+		cache:     newLRU(cfg.CacheEntries),
+		slots:     make(chan struct{}, cfg.QueueDepth),
+		startedAt: time.Now(),
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+
+	s.reg = obs.NewRegistry(1)
+	s.mAccepted = s.reg.Counter("jobs_accepted_total")
+	s.mRejected = s.reg.Counter("jobs_rejected_total")
+	s.mDeduped = s.reg.Counter("jobs_deduped_total")
+	s.mCached = s.reg.Counter("jobs_cached_total")
+	s.mCompleted = s.reg.Counter("jobs_completed_total")
+	s.mFailed = s.reg.Counter("jobs_failed_total")
+	s.mCancelled = s.reg.Counter("jobs_cancelled_total")
+	s.mSimsRun = s.reg.Counter("sims_run_total")
+	s.mFigsRun = s.reg.Counter("figures_run_total")
+	s.latency = s.reg.Histogram("job_latency_ms", []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000})
+	s.reg.Gauge("queue_depth", func(uint64) float64 { return float64(len(s.slots)) })
+	s.reg.Gauge("queue_capacity", func(uint64) float64 { return float64(cfg.QueueDepth) })
+	s.reg.Gauge("workers", func(uint64) float64 { return float64(s.pool.Jobs()) })
+	s.reg.Gauge("uptime_seconds", func(uint64) float64 { return time.Since(s.startedAt).Seconds() })
+	s.reg.Gauge("cache_entries", func(uint64) float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cache.len())
+	})
+	s.reg.Gauge("cache_hits_total", func(uint64) float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cache.hits)
+	})
+	s.reg.Gauge("cache_misses_total", func(uint64) float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cache.misses)
+	})
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// count increments a server counter under the registry lock.
+func (s *Server) count(c *obs.Counter) {
+	s.metricsMu.Lock()
+	c.Inc()
+	s.metricsMu.Unlock()
+}
+
+func (s *Server) observeLatency(d time.Duration) {
+	s.metricsMu.Lock()
+	s.latency.Observe(uint64(d.Milliseconds()))
+	s.metricsMu.Unlock()
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/figures", s.handleFigures)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Drain stops admitting work and waits for every in-flight job to finish.
+// When ctx expires first, remaining flights are cancelled and Drain returns
+// ctx.Err() after they unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseStop() // cancel every flight; runs unwind at the next watchdog boundary
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels all in-flight work immediately (tests; Drain is the polite
+// path).
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.baseStop()
+	s.wg.Wait()
+}
+
+// ---------------------------------------------------------------- submission
+
+// newJobLocked allocates and registers a job; the caller holds s.mu.
+func (s *Server) newJobLocked(kind, fp string) *job {
+	j := &job{
+		id:      fmt.Sprintf("j-%d", s.nextID.Add(1)),
+		kind:    kind,
+		fp:      fp,
+		created: time.Now(),
+		state:   StateQueued,
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	// Bounded retention: forget the oldest *finished* jobs beyond the cap.
+	for len(s.jobs) > s.cfg.MaxTrackedJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			old := s.jobs[id]
+			if old == nil {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+			old.mu.Lock()
+			terminal := old.state.Terminal()
+			old.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is live; let the table run hot rather than drop state
+		}
+	}
+	return j
+}
+
+// admit takes one queue slot, or reports rejection. Cached answers bypass it.
+func (s *Server) admit() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseSlot frees j's admission token exactly once.
+func (s *Server) releaseSlot(j *job) {
+	j.mu.Lock()
+	freed := j.slotFreed
+	j.slotFreed = true
+	j.mu.Unlock()
+	if !freed {
+		<-s.slots
+	}
+}
+
+// submit runs the common submission path: answer from cache, join an
+// in-flight twin, or start a new flight computing fn.
+func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	s.mu.Lock()
+	if b, ok := s.cache.get(fp); ok {
+		j := s.newJobLocked(kind, fp)
+		j.cached = true
+		j.state = StateDone
+		j.result = b
+		s.mu.Unlock()
+		s.count(s.mAccepted)
+		s.count(s.mCached)
+		s.observeLatency(0)
+		s.logf("job %s %s cache-hit fp=%q", j.id, kind, fp)
+		writeJSON(w, http.StatusOK, j.status(true))
+		return
+	}
+	s.mu.Unlock()
+
+	if !s.admit() {
+		s.count(s.mRejected)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, fmt.Sprintf("job queue full (%d queued or running); retry later", s.cfg.QueueDepth))
+		return
+	}
+
+	s.mu.Lock()
+	fl := s.flights[fp]
+	deduped := fl != nil
+	if fl == nil {
+		fl = &flight{fp: fp}
+		fl.ctx, fl.cancel = context.WithCancel(s.baseCtx)
+		fl.fut, _ = s.memo.GetCtx(s.pool, fl.ctx, fp, fn(fl))
+		s.flights[fp] = fl
+		s.wg.Add(1)
+		go s.awaitFlight(fl)
+	}
+	j := s.newJobLocked(kind, fp)
+	j.deduped = deduped
+	j.flight = fl
+	if fl.started {
+		j.state = StateRunning
+	}
+	fl.refs++
+	fl.jobs = append(fl.jobs, j)
+	s.mu.Unlock()
+
+	s.count(s.mAccepted)
+	if deduped {
+		s.count(s.mDeduped)
+	}
+	s.logf("job %s %s accepted fp=%q deduped=%v", j.id, kind, fp, deduped)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// awaitFlight is the flight's sole waiter: it resolves the future, caches a
+// success, retires the flight, and completes every attached job.
+func (s *Server) awaitFlight(fl *flight) {
+	defer s.wg.Done()
+	val, err := fl.fut.Wait()
+
+	s.mu.Lock()
+	if err == nil {
+		s.cache.add(fl.fp, val)
+	}
+	if s.flights[fl.fp] == fl {
+		delete(s.flights, fl.fp)
+	}
+	// The memo tracks only in-flight work: successes move to the LRU, and
+	// failures already forgot themselves, so this is a no-op there.
+	s.memo.Forget(fl.fp)
+	jobs := append([]*job(nil), fl.jobs...)
+	fl.jobs = nil
+	for _, j := range jobs {
+		j.flight = nil
+	}
+	s.mu.Unlock()
+	fl.cancel() // release the context; the run is over
+
+	for _, j := range jobs {
+		s.finishJob(j, val, err)
+	}
+}
+
+// finishJob moves one job to its terminal state (unless cancellation beat
+// us), wakes its subscribers, frees its slot, and records metrics.
+func (s *Server) finishJob(j *job, val []byte, err error) {
+	j.mu.Lock()
+	transitioned := false
+	if !j.state.Terminal() {
+		transitioned = true
+		if err != nil {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		} else {
+			j.state = StateDone
+			j.result = val
+		}
+		for _, ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+	dur := time.Since(j.created)
+	state := j.state
+	j.mu.Unlock()
+
+	s.releaseSlot(j)
+	if transitioned {
+		if state == StateFailed {
+			s.count(s.mFailed)
+			s.logf("job %s failed after %s: %v", j.id, dur.Truncate(time.Millisecond), err)
+		} else {
+			s.count(s.mCompleted)
+			s.logf("job %s done in %s", j.id, dur.Truncate(time.Millisecond))
+		}
+		s.observeLatency(dur)
+	}
+}
+
+// markRunning flips a flight's attached jobs to running; called by the
+// flight's compute fn the moment a pool worker picks it up.
+func (s *Server) markRunning(fl *flight) {
+	s.mu.Lock()
+	fl.started = true
+	jobs := append([]*job(nil), fl.jobs...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateRunning
+		}
+		j.mu.Unlock()
+	}
+}
+
+// broadcastProgress fans a progress sample out to every subscriber of every
+// job attached to the flight. Slow subscribers drop samples rather than
+// stall the simulation.
+func (s *Server) broadcastProgress(fl *flight, sample []byte) {
+	s.mu.Lock()
+	jobs := append([]*job(nil), fl.jobs...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.progress = sample
+		for _, ch := range j.subs {
+			select {
+			case ch <- sample:
+			default:
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// simFlightFn builds the compute function for one simulation flight: run the
+// machine under the flight's context with a progress-streaming observer and
+// marshal the Result. The marshalled bytes are the byte-identical payload —
+// the same json.Marshal of the same core.Result the CLI's -json flag emits.
+func (s *Server) simFlightFn(fl *flight, cfg core.Config) func(context.Context) (json.RawMessage, error) {
+	return func(ctx context.Context) (json.RawMessage, error) {
+		s.markRunning(fl)
+		s.count(s.mSimsRun)
+		var sim *core.Simulator
+		ob := &obs.Observer{ProgressInterval: s.cfg.ProgressInterval}
+		ob.Progress = func(now uint64) {
+			if sim == nil {
+				return // constructor-time call; nothing to report yet
+			}
+			if b, err := json.Marshal(sim.Progress(now)); err == nil {
+				s.broadcastProgress(fl, b)
+			}
+		}
+		cfg.Observe = func() *obs.Observer { return ob }
+		var err error
+		sim, err = core.NewSimulator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+}
+
+// figFlightFn builds the compute function for one figure sweep: render the
+// tables into a buffer and wrap them in a small JSON envelope. Cancellation
+// is honored while queued; a started sweep runs to completion (the figures
+// package has no mid-sweep abort).
+func (s *Server) figFlightFn(fl *flight, req FigRequest) func(context.Context) (json.RawMessage, error) {
+	return func(ctx context.Context) (json.RawMessage, error) {
+		s.markRunning(fl)
+		s.count(s.mFigsRun)
+		var buf bytes.Buffer
+		if err := req.run(s.pool.Jobs(), &buf); err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Fig    string `json:"fig"`
+			Output string `json:"output"`
+		}{Fig: req.Fig, Output: buf.String()})
+	}
+}

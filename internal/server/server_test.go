@@ -1,0 +1,270 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smtdram/internal/core"
+	"smtdram/internal/server"
+	"smtdram/internal/server/client"
+)
+
+func newTestDaemon(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, client.New(ts.URL)
+}
+
+func smallSim() server.SimRequest {
+	w, tgt := uint64(2_000), uint64(20_000)
+	return server.SimRequest{Apps: []string{"mcf"}, Warmup: &w, Target: &tgt}
+}
+
+// TestSimResultByteIdenticalToDirectRun is the core acceptance check: the
+// payload the daemon serves equals json.Marshal of the same configuration run
+// directly — i.e. what `smtdram -json` prints.
+func TestSimResultByteIdenticalToDirectRun(t *testing.T) {
+	req := smallSim()
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestDaemon(t, server.Config{Logf: t.Logf})
+	ctx := context.Background()
+	st, err := c.SubmitSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	got, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served result differs from direct run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCacheHitSecondSubmission: a repeated configuration is answered from
+// cache without a second simulation, and the daemon's counters say so.
+func TestCacheHitSecondSubmission(t *testing.T) {
+	_, c := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+	req := smallSim()
+
+	st1, err := c.SubmitSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1, err = c.Wait(ctx, st1.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Result(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := c.SubmitSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.State != server.StateDone {
+		t.Fatalf("second submission: cached=%v state=%s, want cached done", st2.Cached, st2.State)
+	}
+	if !bytes.Equal(st2.Result, first) {
+		t.Fatalf("cached result differs from the original")
+	}
+	if v, err := c.MetricValue(ctx, "smtdram_jobs_cached_total"); err != nil || v != 1 {
+		t.Fatalf("jobs_cached_total = %v (%v), want 1", v, err)
+	}
+	if v, err := c.MetricValue(ctx, "smtdram_sims_run_total"); err != nil || v != 1 {
+		t.Fatalf("sims_run_total = %v (%v), want exactly 1 simulation", v, err)
+	}
+}
+
+// TestSSEProgressThenDone consumes a real simulation's event stream through
+// the client: at least one progress sample, then the done event.
+func TestSSEProgressThenDone(t *testing.T) {
+	_, c := newTestDaemon(t, server.Config{ProgressInterval: 1_000})
+	ctx := context.Background()
+
+	w, tgt := uint64(0), uint64(200_000)
+	st, err := c.SubmitSim(ctx, server.SimRequest{Apps: []string{"mcf"}, Warmup: &w, Target: &tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress int
+	var terminal client.Event
+	err = c.Events(ctx, st.ID, func(ev client.Event) error {
+		if ev.Name == "progress" {
+			progress++
+			var p core.Progress
+			if err := json.Unmarshal(ev.Data, &p); err != nil {
+				return err
+			}
+			if p.TargetTotal != tgt {
+				t.Errorf("progress target_total = %d, want %d", p.TargetTotal, tgt)
+			}
+		} else {
+			terminal = ev
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress == 0 {
+		t.Fatalf("saw no progress events before the terminal event")
+	}
+	if terminal.Name != "done" {
+		t.Fatalf("terminal event = %q, want done", terminal.Name)
+	}
+}
+
+// TestFigureSweep runs the cheapest figure job end to end and checks the
+// envelope, plus the figure result cache.
+func TestFigureSweep(t *testing.T) {
+	_, c := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	st, err := c.SubmitFigure(ctx, server.FigRequest{Fig: "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("figure job = %s (%s), want done", st.State, st.Error)
+	}
+	raw, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Fig    string `json:"fig"`
+		Output string `json:"output"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Fig != "table2" || !strings.Contains(env.Output, "Table 2") {
+		t.Fatalf("figure envelope = %+v, want table2 output", env)
+	}
+
+	st2, err := c.SubmitFigure(ctx, server.FigRequest{Fig: "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatalf("second identical figure submission should hit the cache")
+	}
+}
+
+// TestBadRequests: malformed bodies, unknown knobs, and unknown jobs map to
+// 400/404, not 500s or hung jobs.
+func TestBadRequests(t *testing.T) {
+	_, c := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	checkCode := func(err error, want int, what string) {
+		t.Helper()
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != want {
+			t.Fatalf("%s: err = %v, want APIError %d", what, err, want)
+		}
+	}
+
+	_, err := c.SubmitSim(ctx, server.SimRequest{Apps: []string{"no-such-app"}})
+	checkCode(err, http.StatusBadRequest, "unknown app")
+	_, err = c.SubmitSim(ctx, server.SimRequest{Apps: []string{"mcf"}, DRAM: "sdram"})
+	checkCode(err, http.StatusBadRequest, "unknown dram kind")
+	_, err = c.SubmitFigure(ctx, server.FigRequest{Fig: "11"})
+	checkCode(err, http.StatusBadRequest, "unknown figure")
+	_, err = c.Job(ctx, "j-999999")
+	checkCode(err, http.StatusNotFound, "unknown job")
+	_, err = c.Result(ctx, "j-999999")
+	checkCode(err, http.StatusNotFound, "unknown job result")
+
+	// A request body with unknown fields is rejected up front.
+	resp, err := http.Post(c.BaseURL+"/v1/sim", "application/json", strings.NewReader(`{"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDrainRejectsNewWork: a draining daemon answers 503 and Drain returns
+// once in-flight work is done.
+func TestDrainRejectsNewWork(t *testing.T) {
+	srv, c := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain of an idle daemon: %v", err)
+	}
+	_, err := c.SubmitSim(ctx, smallSim())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: %v, want 503", err)
+	}
+}
+
+// TestLoadGenSmoke runs the load generator against an in-process daemon with
+// a tiny repeated mix: no request may be dropped, and the repeats must be
+// served by cache or dedup rather than fresh simulations.
+func TestLoadGenSmoke(t *testing.T) {
+	_, c := newTestDaemon(t, server.Config{Workers: 2, QueueDepth: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	w, tgt := uint64(1_000), uint64(5_000)
+	mix := []server.SimRequest{
+		{Apps: []string{"mcf"}, Warmup: &w, Target: &tgt},
+		{Apps: []string{"ammp"}, Warmup: &w, Target: &tgt},
+	}
+	rep, err := c.LoadGen(ctx, client.LoadGenConfig{Requests: 10, Clients: 4, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 10 || rep.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 10/0", rep.Completed, rep.Failed)
+	}
+	if rep.SimsRun > 2 {
+		t.Fatalf("sims_run = %.0f, want at most 2 (everything else cached or deduped)", rep.SimsRun)
+	}
+	if rep.CacheHitRatio <= 0 {
+		t.Fatalf("cache_hit_ratio = %v, want > 0", rep.CacheHitRatio)
+	}
+}
