@@ -249,10 +249,14 @@ func (c Config) Validate() error {
 
 // Fingerprint is a one-line deterministic description of the configuration,
 // attached to worker-panic errors so a crash in a parallel sweep identifies
-// the exact run that died.
+// the exact run that died. The serving daemon also keys its result cache and
+// request dedup on it, so every knob that changes simulation results and that
+// a driver can vary must appear here (equivalence-only toggles like
+// DisableClockSkip are deliberately absent).
 func (c Config) Fingerprint() string {
-	fp := fmt.Sprintf("apps=%s seed=%d warm=%d target=%d mem=%s-%dch-g%d %s %s %s",
+	fp := fmt.Sprintf("apps=%s seed=%d warm=%d target=%d fetch=%s mem=%s-%dch-g%d %s %s %s",
 		strings.Join(c.Apps, "+"), c.Seed, c.WarmupInstr, c.TargetInstr,
+		c.CPU.Policy,
 		c.Mem.Kind, c.Mem.PhysChannels, c.Mem.Gang,
 		c.Mem.PageMode, c.Mem.Scheme, c.Mem.Policy)
 	if !c.Faults.Empty() {

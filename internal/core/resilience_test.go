@@ -151,12 +151,20 @@ func TestWarmupTimeoutColdWindow(t *testing.T) {
 func TestConfigFingerprint(t *testing.T) {
 	cfg := faultyCfg(&faults.Plan{BitFlipRate: 1e-6, Seed: 9}, "mcf", "art")
 	fp := cfg.Fingerprint()
-	for _, want := range []string{"mcf+art", "seed=42", "bitflip"} {
+	for _, want := range []string{"mcf+art", "seed=42", "fetch=", "bitflip"} {
 		if !strings.Contains(fp, want) {
 			t.Fatalf("fingerprint %q missing %q", fp, want)
 		}
 	}
 	if plain := fastCfg("mcf").Fingerprint(); strings.Contains(plain, "faults=") {
 		t.Fatalf("fault-free fingerprint mentions faults: %q", plain)
+	}
+	// The fetch policy changes results (the paper's main variable), and the
+	// daemon keys its result cache on the fingerprint — two configs differing
+	// only in fetch policy must not collide.
+	icount := fastCfg("mcf")
+	icount.CPU.Policy = cpu.ICOUNT
+	if fastCfg("mcf").Fingerprint() == icount.Fingerprint() {
+		t.Fatalf("fingerprint ignores the fetch policy: %q", icount.Fingerprint())
 	}
 }

@@ -694,8 +694,13 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 // (ignoring cfg.Apps) and returns its IPC — the denominator of weighted
 // speedup.
 func RunAlone(cfg Config, app string) (float64, error) {
+	return RunAloneContext(context.Background(), cfg, app)
+}
+
+// RunAloneContext is RunAlone under a cancellation context.
+func RunAloneContext(ctx context.Context, cfg Config, app string) (float64, error) {
 	cfg.Apps = []string{app}
-	res, err := Run(cfg)
+	res, err := RunContext(ctx, cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -50,6 +51,13 @@ type Options struct {
 	// hooks it installs on the Config (e.g. Observe) fire on worker
 	// goroutines when Jobs > 1 and must be safe for concurrent use.
 	Configure func(*core.Config)
+	// Ctx, when non-nil, cancels the sweep: simulations still queued on the
+	// pool resolve to ctx.Err() without running, and running ones abort at
+	// their next watchdog boundary, so a figure stops burning CPU shortly
+	// after cancellation instead of finishing every remaining configuration.
+	// The serving daemon threads its per-job context through here; nil means
+	// run to completion.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +75,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Baselines == nil {
 		o.Baselines = map[string]float64{}
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	return o
 }
@@ -105,6 +116,13 @@ func (o Options) newRun() *figRun {
 	return &figRun{o: o, pool: runner.New(jobs)}
 }
 
+// submitRun schedules one simulation on the pool under the run's context.
+func (r *figRun) submitRun(cfg core.Config) *runner.Future[core.Result] {
+	return runner.SubmitNamedCtx(r.pool, r.o.Ctx, cfg.Fingerprint(), func(ctx context.Context) (core.Result, error) {
+		return core.RunContext(ctx, cfg)
+	})
+}
+
 // baseline returns the future of app's single-thread IPC on the paper's
 // *reference* machine (the default 2-channel DDR configuration). Values
 // persist into Options.Baselines so later figures of the same invocation
@@ -119,8 +137,8 @@ func (r *figRun) baseline(app string) *runner.Future[float64] {
 		return runner.Resolved(v, nil)
 	}
 	ref := r.o.baseConfig(app) // the reference machine, always
-	return r.memo.Get(r.pool, key, func() (float64, error) {
-		v, err := core.RunAlone(ref, app)
+	f, _ := r.memo.GetCtx(r.pool, r.o.Ctx, key, func(ctx context.Context) (float64, error) {
+		v, err := core.RunAloneContext(ctx, ref, app)
 		if err != nil {
 			return 0, err
 		}
@@ -129,6 +147,7 @@ func (r *figRun) baseline(app string) *runner.Future[float64] {
 		r.mu.Unlock()
 		return v, nil
 	})
+	return f
 }
 
 // wsJob is one in-flight weighted-speedup computation: the mix run plus the
@@ -143,7 +162,7 @@ type wsJob struct {
 // wsJob.Wait on the submitting goroutine, per the runner deadlock rule.
 func (r *figRun) submitWS(cfg core.Config) wsJob {
 	j := wsJob{
-		run: runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) }),
+		run: r.submitRun(cfg),
 	}
 	for _, app := range cfg.Apps {
 		j.alone = append(j.alone, r.baseline(app))
@@ -208,8 +227,8 @@ func Fig1(o Options) ([]Fig1Row, error) {
 	jobs := make([][4]*runner.Future[float64], len(apps))
 	for i, app := range apps {
 		for k, cfg := range core.CPIBreakdownConfigs(o.baseConfig(app), app) {
-			jobs[i][k] = runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (float64, error) {
-				res, err := core.Run(cfg)
+			jobs[i][k] = runner.SubmitNamedCtx(r.pool, o.Ctx, cfg.Fingerprint(), func(ctx context.Context) (float64, error) {
+				res, err := core.RunContext(ctx, cfg)
 				if err != nil {
 					return 0, err
 				}
@@ -399,7 +418,7 @@ func Fig4and5(o Options) ([]ConcurrencyRow, error) {
 	futs := make([]*runner.Future[core.Result], len(mixes))
 	for i, m := range mixes {
 		cfg := o.baseConfig(m.Apps...)
-		futs[i] = runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) })
+		futs[i] = r.submitRun(cfg)
 	}
 	var out []ConcurrencyRow
 	for i, m := range mixes {
@@ -620,7 +639,7 @@ func figMapping(o Options, kind core.DRAMKind) ([]MappingRow, error) {
 			cfg := o.baseConfig(m.Apps...)
 			cfg.Mem.Kind = kind
 			cfg.Mem.Scheme = scheme
-			jobs[i][k] = runner.SubmitNamed(r.pool, cfg.Fingerprint(), func() (core.Result, error) { return core.Run(cfg) })
+			jobs[i][k] = r.submitRun(cfg)
 		}
 	}
 	var out []MappingRow

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -315,6 +317,89 @@ func TestSSEStreamDeterministic(t *testing.T) {
 	var final JobStatus
 	if err := json.Unmarshal([]byte(data), &final); err != nil || final.State != StateDone {
 		t.Fatalf("terminal payload = %q (err %v), want a done JobStatus", data, err)
+	}
+}
+
+// TestCacheCountersAreCounters: a repeated submission is served from cache,
+// the hit/miss counters track it, and /metrics exposes them with counter
+// semantics (the _total suffix promises rate()-ability to Prometheus tooling).
+func TestCacheCountersAreCounters(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+
+	instant := func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return func(context.Context) (json.RawMessage, error) {
+			return json.RawMessage(`{"v":1}`), nil
+		}
+	}
+	rec1 := httptest.NewRecorder()
+	s.submit(rec1, "sim", "fp-counted", instant)
+	waitState(t, s, decodeStatus(t, rec1).ID, StateDone)
+
+	rec2 := httptest.NewRecorder()
+	s.submit(rec2, "sim", "fp-counted", instant)
+	if rec2.Code != http.StatusOK || !decodeStatus(t, rec2).Cached {
+		t.Fatalf("repeat submission: code %d, want 200 served from cache", rec2.Code)
+	}
+
+	s.metricsMu.Lock()
+	hits, _ := s.reg.Value("cache_hits_total", 0)
+	misses, _ := s.reg.Value("cache_misses_total", 0)
+	s.metricsMu.Unlock()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%v misses=%v, want 1/1", hits, misses)
+	}
+
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE smtdram_cache_hits_total counter",
+		"# TYPE smtdram_cache_misses_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestDrainSubmitRace hammers submit while Drain runs: the draining flag and
+// wg.Add are ordered by s.mu against wg.Wait, so the race detector must stay
+// quiet and Drain must not miss a late-admitted flight.
+func TestDrainSubmitRace(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	instant := func(fl *flight) func(context.Context) (json.RawMessage, error) {
+		return func(context.Context) (json.RawMessage, error) {
+			return json.RawMessage(`{}`), nil
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				s.submit(rec, "sim", fmt.Sprintf("fp-race-%d-%d", i, n), instant)
+			}
+		}(i)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := s.Drain(ctx)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("drain under submission load: %v", err)
 	}
 }
 

@@ -11,8 +11,6 @@ type lruCache struct {
 	cap     int
 	order   *list.List // front = most recent; values are *lruEntry
 	entries map[string]*list.Element
-	hits    uint64
-	misses  uint64
 }
 
 type lruEntry struct {
@@ -24,14 +22,15 @@ func newLRU(capacity int) *lruCache {
 	return &lruCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached bytes for key, promoting the entry on a hit.
+// get returns the cached bytes for key, promoting the entry on a hit. Hit and
+// miss accounting lives in the server's registry counters, not here: the
+// server counts per submission, while a single submission may probe the cache
+// twice (once before and once after admission).
 func (c *lruCache) get(key string) ([]byte, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
 		return nil, false
 	}
-	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }

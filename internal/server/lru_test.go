@@ -59,14 +59,3 @@ func TestLRUDisabled(t *testing.T) {
 		t.Fatalf("len = %d, want 0", c.len())
 	}
 }
-
-func TestLRUCounters(t *testing.T) {
-	c := newLRU(4)
-	c.add("a", []byte("1"))
-	c.get("a")
-	c.get("a")
-	c.get("missing")
-	if c.hits != 2 || c.misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 2/1", c.hits, c.misses)
-	}
-}

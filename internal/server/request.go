@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -151,9 +152,10 @@ func (r FigRequest) validate() error {
 }
 
 // run executes the figure sweep with the given internal parallelism, writing
-// the rendered table to w.
-func (r FigRequest) run(jobs int, w io.Writer) error {
-	o := figures.Options{Warmup: r.Warmup, Target: r.Target, Seed: r.Seed, Jobs: jobs}
+// the rendered table to w. ctx aborts the sweep: queued simulations never
+// run, and running ones stop at their next watchdog boundary.
+func (r FigRequest) run(ctx context.Context, jobs int, w io.Writer) error {
+	o := figures.Options{Warmup: r.Warmup, Target: r.Target, Seed: r.Seed, Jobs: jobs, Ctx: ctx}
 	switch r.Fig {
 	case "table2":
 		figures.PrintTable2(w)

@@ -190,18 +190,20 @@ type Server struct {
 
 	// Server metrics live in an obs.Registry rendered by /metrics; the
 	// registry is single-threaded, so metricsMu guards every touch.
-	metricsMu  sync.Mutex
-	reg        *obs.Registry
-	mAccepted  *obs.Counter
-	mRejected  *obs.Counter
-	mDeduped   *obs.Counter
-	mCached    *obs.Counter
-	mCompleted *obs.Counter
-	mFailed    *obs.Counter
-	mCancelled *obs.Counter
-	mSimsRun   *obs.Counter
-	mFigsRun   *obs.Counter
-	latency    *obs.Histogram
+	metricsMu    sync.Mutex
+	reg          *obs.Registry
+	mAccepted    *obs.Counter
+	mRejected    *obs.Counter
+	mDeduped     *obs.Counter
+	mCached      *obs.Counter
+	mCompleted   *obs.Counter
+	mFailed      *obs.Counter
+	mCancelled   *obs.Counter
+	mSimsRun     *obs.Counter
+	mFigsRun     *obs.Counter
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	latency      *obs.Histogram
 }
 
 // New builds a Server.
@@ -238,16 +240,12 @@ func New(cfg Config) *Server {
 		defer s.mu.Unlock()
 		return float64(s.cache.len())
 	})
-	s.reg.Gauge("cache_hits_total", func(uint64) float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.cache.hits)
-	})
-	s.reg.Gauge("cache_misses_total", func(uint64) float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.cache.misses)
-	})
+	// Hits and misses are monotonic, so they are registry counters (the
+	// _total suffix promises counter semantics to Prometheus tooling), counted
+	// per submission: one outcome for the first lookup, plus a hit if the
+	// post-admission re-check finds a result that landed in between.
+	s.mCacheHits = s.reg.Counter("cache_hits_total")
+	s.mCacheMisses = s.reg.Counter("cache_misses_total")
 	return s
 }
 
@@ -286,9 +284,17 @@ func (s *Server) Handler() http.Handler {
 
 // Drain stops admitting work and waits for every in-flight job to finish.
 // When ctx expires first, remaining flights are cancelled and Drain returns
-// ctx.Err() after they unwind.
+// ctx.Err() after they unwind — a bounded wait, because cancellation reaches
+// every queued simulation immediately and every running one (including each
+// leg of a figure sweep) at its next watchdog boundary.
+//
+// The draining flag flips under s.mu: submit re-checks it under the same
+// mutex before its wg.Add, so once Drain holds and releases the lock no new
+// flight can be added while wg.Wait may be observing a zero counter.
 func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
 	s.draining.Store(true)
+	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -307,7 +313,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close cancels all in-flight work immediately (tests; Drain is the polite
 // path).
 func (s *Server) Close() {
+	s.mu.Lock()
 	s.draining.Store(true)
+	s.mu.Unlock()
 	s.baseStop()
 	s.wg.Wait()
 }
@@ -373,29 +381,39 @@ func (s *Server) releaseSlot(j *job) {
 	}
 }
 
+// serveCachedLocked registers a done-from-cache job holding b and answers the
+// submission. The caller holds s.mu; it is released here, before any counter
+// is touched (metricsMu nests outside s.mu — the /metrics render holds it
+// while gauges read s.mu).
+func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte) {
+	j := s.newJobLocked(kind, fp)
+	j.cached = true
+	j.state = StateDone
+	j.result = b
+	s.mu.Unlock()
+	s.count(s.mCacheHits)
+	s.count(s.mAccepted)
+	s.count(s.mCached)
+	s.observeLatency(0)
+	s.logf("job %s %s cache-hit fp=%q", j.id, kind, fp)
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
 // submit runs the common submission path: answer from cache, join an
 // in-flight twin, or start a new flight computing fn.
 func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
-	if s.draining.Load() {
+	if s.draining.Load() { // fast path; re-checked under s.mu before wg.Add
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 
 	s.mu.Lock()
 	if b, ok := s.cache.get(fp); ok {
-		j := s.newJobLocked(kind, fp)
-		j.cached = true
-		j.state = StateDone
-		j.result = b
-		s.mu.Unlock()
-		s.count(s.mAccepted)
-		s.count(s.mCached)
-		s.observeLatency(0)
-		s.logf("job %s %s cache-hit fp=%q", j.id, kind, fp)
-		writeJSON(w, http.StatusOK, j.status(true))
+		s.serveCachedLocked(w, kind, fp, b)
 		return
 	}
 	s.mu.Unlock()
+	s.count(s.mCacheMisses)
 
 	if !s.admit() {
 		s.count(s.mRejected)
@@ -405,6 +423,23 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 	}
 
 	s.mu.Lock()
+	// Re-check draining under s.mu: Drain flips the flag under the same mutex
+	// before wg.Wait, so admitting here (wg.Add below) would race the Wait and
+	// let a late flight outlive the drain.
+	if s.draining.Load() {
+		s.mu.Unlock()
+		<-s.slots // return the admission token
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Re-check the cache too: an identical flight may have completed between
+	// the first check and admission, and starting a fresh simulation for bytes
+	// the cache already holds is wasted work.
+	if b, ok := s.cache.get(fp); ok {
+		s.serveCachedLocked(w, kind, fp, b)
+		<-s.slots // return the admission token; no flight was started
+		return
+	}
 	fl := s.flights[fp]
 	deduped := fl != nil
 	if fl == nil {
@@ -567,15 +602,16 @@ func (s *Server) simFlightFn(fl *flight, cfg core.Config) func(context.Context) 
 }
 
 // figFlightFn builds the compute function for one figure sweep: render the
-// tables into a buffer and wrap them in a small JSON envelope. Cancellation
-// is honored while queued; a started sweep runs to completion (the figures
-// package has no mid-sweep abort).
+// tables into a buffer and wrap them in a small JSON envelope. ctx threads
+// through figures.Options into every simulation the sweep schedules, so a
+// cancelled or drained sweep aborts between configurations (and mid-run at
+// the watchdog boundary) instead of finishing the remaining grid.
 func (s *Server) figFlightFn(fl *flight, req FigRequest) func(context.Context) (json.RawMessage, error) {
 	return func(ctx context.Context) (json.RawMessage, error) {
 		s.markRunning(fl)
 		s.count(s.mFigsRun)
 		var buf bytes.Buffer
-		if err := req.run(s.pool.Jobs(), &buf); err != nil {
+		if err := req.run(ctx, s.pool.Jobs(), &buf); err != nil {
 			return nil, err
 		}
 		return json.Marshal(struct {

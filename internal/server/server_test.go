@@ -71,6 +71,26 @@ func TestSimResultByteIdenticalToDirectRun(t *testing.T) {
 	}
 }
 
+// TestFetchPolicyKeysResultCache: two requests differing only in the SMT
+// fetch policy (the paper's main variable) must build configurations with
+// distinct fingerprints — otherwise the daemon's cache and dedup would hand
+// one policy's results to the other.
+func TestFetchPolicyKeysResultCache(t *testing.T) {
+	dwarnReq, icountReq := smallSim(), smallSim()
+	icountReq.Fetch = "icount"
+	dwarn, err := dwarnReq.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	icount, err := icountReq.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dwarn.Fingerprint() == icount.Fingerprint() {
+		t.Fatalf("fetch policy missing from the cache key: %q", dwarn.Fingerprint())
+	}
+}
+
 // TestCacheHitSecondSubmission: a repeated configuration is answered from
 // cache without a second simulation, and the daemon's counters say so.
 func TestCacheHitSecondSubmission(t *testing.T) {
