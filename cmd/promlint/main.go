@@ -1,0 +1,74 @@
+// Command promlint strictly validates a Prometheus text exposition — the
+// CI-side guard for the daemon's /metrics endpoint. It checks what substring
+// assertions cannot: every sample belongs to a declared TYPE family,
+// histogram bucket series are cumulative with a trailing +Inf equal to
+// _count, and metric names stay inside the exposition alphabet.
+//
+// Usage:
+//
+//	promlint http://127.0.0.1:8321/metrics   # fetch and validate
+//	curl -s .../metrics | promlint -         # validate stdin
+//
+// Exits 0 and prints the family count on success; exits 1 with the first
+// violation otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"smtdram/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: promlint <url | ->\nValidates a Prometheus text exposition from a URL or stdin.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+
+	var r io.Reader
+	switch {
+	case src == "-":
+		r = os.Stdin
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		c := &http.Client{Timeout: 30 * time.Second}
+		resp, err := c.Get(src)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("GET %s: %s", src, resp.Status))
+		}
+		r = resp.Body
+	default:
+		f, err := os.Open(src)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	n, err := obs.ValidateExposition(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("promlint: ok (%d metric families)\n", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promlint:", err)
+	os.Exit(1)
+}

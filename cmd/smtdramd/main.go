@@ -20,7 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,7 +41,8 @@ func main() {
 		cacheN   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
 		progress = flag.Uint64("progress-interval", 10_000, "simulated cycles between streamed progress samples")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown before cancelling them")
-		quiet    = flag.Bool("quiet", false, "suppress per-job log lines")
+		quiet    = flag.Bool("quiet", false, "suppress per-job log lines (warnings and errors still print)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 
 		loadgen   = flag.Bool("loadgen", false, "run as a load generator instead of serving, then print a throughput/latency report")
 		lgURL     = flag.String("loadgen-url", "", "daemon base URL for -loadgen (empty: benchmark an in-process daemon)")
@@ -56,16 +57,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	logf := log.Printf
+	// Structured logging: every lifecycle line carries job/flight correlation
+	// keys, so `grep job=j-17` (or a jq filter with -log-json) reconstructs
+	// one job's life from the interleaved stream.
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelWarn
 	}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
 	cfg := server.Config{
 		QueueDepth:       *queue,
 		Workers:          *workers,
 		CacheEntries:     *cacheN,
 		ProgressInterval: *progress,
-		Logf:             logf,
+		Logger:           logger,
 	}
 
 	if *loadgen {
@@ -96,7 +109,7 @@ func serve(cfg server.Config, addr string, drainTimeout time.Duration) error {
 			errCh <- err
 		}
 	}()
-	log.Printf("smtdramd: listening on http://%s (queue %d, workers %d)", ln.Addr(), cfg.QueueDepth, workersOf(cfg))
+	slog.Info("listening", "addr", "http://"+ln.Addr().String(), "queue", cfg.QueueDepth, "workers", workersOf(cfg))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -105,20 +118,20 @@ func serve(cfg server.Config, addr string, drainTimeout time.Duration) error {
 		srv.Close()
 		return err
 	case got := <-sig:
-		log.Printf("smtdramd: received %s; draining (up to %s)", got, drainTimeout)
+		slog.Info("draining", "signal", got.String(), "timeout", drainTimeout)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("smtdramd: drain timed out; in-flight jobs were cancelled: %v", err)
+		slog.Warn("drain timed out; in-flight jobs were cancelled", "err", err)
 	} else {
-		log.Printf("smtdramd: drained cleanly")
+		slog.Info("drained cleanly")
 	}
 	if err := hs.Shutdown(ctx); err != nil {
 		_ = hs.Close()
 	}
-	log.Printf("smtdramd: shutdown complete")
+	slog.Info("shutdown complete")
 	return nil
 }
 
@@ -145,7 +158,7 @@ func runLoadGen(cfg server.Config, baseURL string, requests, clients int, outPat
 			srv.Close()
 		}()
 		baseURL = "http://" + ln.Addr().String()
-		log.Printf("smtdramd: load-generating against in-process daemon at %s", baseURL)
+		slog.Info("load-generating against in-process daemon", "url", baseURL)
 	}
 
 	c := client.New(baseURL)
@@ -157,9 +170,15 @@ func runLoadGen(cfg server.Config, baseURL string, requests, clients int, outPat
 	if err != nil {
 		return err
 	}
-	log.Printf("smtdramd: %d requests in %.2fs (%.1f req/s, p50 %.1fms, p99 %.1fms, cache-hit %.0f%%, %d 429s, %.0f sims run)",
-		rep.Requests, time.Since(start).Seconds(), rep.RequestsPerSec,
-		rep.P50Ms, rep.P99Ms, 100*rep.CacheHitRatio, rep.Rejections, rep.SimsRun)
+	slog.Info("loadgen complete",
+		"requests", rep.Requests,
+		"elapsed", time.Since(start).Truncate(10*time.Millisecond),
+		"req_per_sec", fmt.Sprintf("%.1f", rep.RequestsPerSec),
+		"p50_ms", fmt.Sprintf("%.1f", rep.P50Ms),
+		"p99_ms", fmt.Sprintf("%.1f", rep.P99Ms),
+		"cache_hit_pct", fmt.Sprintf("%.0f", 100*rep.CacheHitRatio),
+		"rejections", rep.Rejections,
+		"sims_run", rep.SimsRun)
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -173,6 +192,6 @@ func runLoadGen(cfg server.Config, baseURL string, requests, clients int, outPat
 	if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	log.Printf("smtdramd: report -> %s", outPath)
+	slog.Info("report written", "path", outPath)
 	return nil
 }

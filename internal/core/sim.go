@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"smtdram/internal/addrmap"
 	"smtdram/internal/cache"
@@ -351,6 +352,29 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	if s.cfg.WarmupInstr == 0 {
 		sn = s.takeSnapshot(0)
 	}
+	// Serving traces: when the daemon attached a wall-clock run span, open a
+	// child per simulation phase so the Perfetto timeline shows where warmup
+	// ends and measurement begins in wall time. Spans are observation only —
+	// they never feed back into the simulation, so results stay
+	// byte-identical with tracing on or off.
+	var runSpan, phaseSpan *obs.Span
+	if s.obs != nil {
+		runSpan = s.obs.RunSpan
+	}
+	endPhase := func(at uint64) {
+		if phaseSpan != nil {
+			phaseSpan.SetAttr("end_cycle", strconv.FormatUint(at, 10))
+			phaseSpan.End()
+			phaseSpan = nil
+		}
+	}
+	if runSpan != nil {
+		if sn.taken {
+			phaseSpan = runSpan.Child("measure", obs.A("start_cycle", "0"))
+		} else {
+			phaseSpan = runSpan.Child("warmup", obs.A("start_cycle", "0"))
+		}
+	}
 	skipping := !s.cfg.DisableClockSkip
 	// Deep skip lets a quiet span pass through event cycles whose work is
 	// internal to the memory system (an MSHR chain hop, a controller retry
@@ -404,6 +428,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		// run unwinds through the same stats/observer close-out as an abort.
 		if now&1023 == 0 {
 			if err := ctx.Err(); err != nil {
+				endPhase(now)
 				s.ctrl.FinishStats(now)
 				s.skip.Wall = now
 				if s.obs != nil {
@@ -415,6 +440,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			if c := s.cpu.TotalCommitted; c != lastCommitted {
 				lastCommitted, lastProgress = c, now
 			} else if now-lastProgress >= wd {
+				endPhase(now)
 				s.ctrl.FinishStats(now)
 				s.skip.Wall = now
 				if s.obs != nil {
@@ -433,6 +459,10 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		if !sn.taken && s.cpu.AllWarmed() {
 			s.ctrl.FinishStats(now)
 			sn = s.takeSnapshot(now)
+			if runSpan != nil {
+				endPhase(now)
+				phaseSpan = runSpan.Child("measure", obs.A("start_cycle", strconv.FormatUint(now, 10)))
+			}
 		}
 		if sn.taken && s.cpu.AllFinished() {
 			break
@@ -563,6 +593,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			committed: make([]uint64, len(s.cfg.Apps)),
 		}
 	}
+	endPhase(now)
 	s.ctrl.FinishStats(now)
 	s.skip.Wall = now
 	if s.obs != nil {

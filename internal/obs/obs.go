@@ -174,6 +174,12 @@ type Observer struct {
 	// harnesses use to flush per-run output.
 	OnFinish func(*Observer)
 
+	// RunSpan, when non-nil, is the wall-clock span covering this run in a
+	// serving trace; the run loop opens "warmup"/"measure" child spans on it
+	// at phase boundaries. Wall-clock only — it never feeds back into the
+	// simulation, so results stay byte-identical with or without it.
+	RunSpan *Span
+
 	// Progress, when non-nil, fires on the run goroutine roughly every
 	// ProgressInterval landed cycles — the serving daemon's streaming hook.
 	// Unlike registry samples, progress points do NOT constrain the

@@ -40,9 +40,11 @@ func promFloat(v float64) string {
 // metric name ("smtdram" -> "smtdram_jobs_accepted_total"). Output order is
 // registration order, so two renders of the same registry diff cleanly.
 //
-// Like the rest of the registry this is single-threaded: callers scraping a
-// registry that another goroutine mutates (the serving daemon) must hold
-// their own lock around both the mutation and the render.
+// Counter reads are atomic, so concurrent increments never race the render.
+// Gauges and histograms stay single-writer: callers scraping a registry whose
+// gauge state or histograms another goroutine mutates (the serving daemon)
+// must hold their own lock around both the mutation and the render, as the
+// server's metricsMu does.
 func (r *Registry) WritePrometheus(w io.Writer, namespace string, now uint64) error {
 	if r == nil {
 		return nil
@@ -59,7 +61,7 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string, now uint64) er
 	}
 	for _, c := range r.counters {
 		name := prefix + PromName(c.name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.v); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
 			return err
 		}
 	}

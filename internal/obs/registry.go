@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 )
 
 // GaugeFunc reads an instantaneous value; now is the current cycle, so rate
@@ -13,23 +14,26 @@ type GaugeFunc func(now uint64) float64
 
 // Counter is a monotonically increasing metric. All methods are nil-safe: a
 // nil *Counter (from a nil Registry) is a no-op, so instrumented code can
-// increment unconditionally.
+// increment unconditionally. Increments and reads are atomic, so a serving
+// daemon's worker goroutines can bump counters while /metrics renders the
+// registry without a data race (histograms and gauges stay single-writer:
+// concurrent users must hold their own lock, as the server's metricsMu does).
 type Counter struct {
 	name string
-	v    uint64
+	v    atomic.Uint64
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -38,7 +42,7 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Histogram counts observations into buckets with inclusive upper bounds; an
@@ -116,6 +120,53 @@ func (h *Histogram) Max() uint64 {
 		return 0
 	}
 	return h.max
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed distribution
+// by linear interpolation inside the bucket that holds the target rank: ranks
+// below a bucket's cumulative count are spread uniformly across [lower bound,
+// upper bound). The overflow bucket interpolates toward the observed maximum,
+// so p99 of a histogram whose tail escaped the last bound still reports a
+// finite, data-bounded value. Returns 0 for an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum uint64
+	lower := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			if i < len(h.bounds) {
+				lower = float64(h.bounds[i])
+			}
+			continue
+		}
+		upper := float64(h.max)
+		if i < len(h.bounds) {
+			upper = float64(h.bounds[i])
+		}
+		if upper > float64(h.max) {
+			upper = float64(h.max) // the data never reached the bound
+		}
+		if upper < lower {
+			upper = lower
+		}
+		next := cum + c
+		if rank <= float64(next) {
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+		lower = upper
+	}
+	return float64(h.max)
 }
 
 // Buckets returns the (bounds, counts) pair; counts has one extra overflow
@@ -293,7 +344,7 @@ func (r *Registry) Value(name string, now uint64) (float64, bool) {
 	}
 	for _, c := range r.counters {
 		if c.name == name {
-			return float64(c.v), true
+			return float64(c.Value()), true
 		}
 	}
 	return 0, false
@@ -310,7 +361,7 @@ func (r *Registry) Final(now uint64) []Metric {
 		out = append(out, Metric{Name: g.name, Value: g.f(now)})
 	}
 	for _, c := range r.counters {
-		out = append(out, Metric{Name: c.name, Value: float64(c.v)})
+		out = append(out, Metric{Name: c.name, Value: float64(c.Value())})
 	}
 	return out
 }

@@ -130,33 +130,49 @@ type chromeTrace struct {
 // lifecycle phases render as complete slices and transitions as instants.
 func WriteChrome(w io.Writer, events []Event) error {
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	appendLifecycleEvents(&out.TraceEvents, events, 0, 0, "", nil)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// appendLifecycleEvents renders cycle-domain lifecycle events into out.
+// pidBase offsets every channel's process id and procPrefix its process name
+// (so a merged two-domain export keeps the cycle lanes distinct from the
+// wall-clock lanes); tsOffset shifts every timestamp (1 cycle → 1 µs), which
+// anchors cycle 0 at a wall-clock instant in merged traces; extraArgs is
+// stamped into every event's args (the job-id correlation bridge).
+func appendLifecycleEvents(out *[]chromeEvent, events []Event, pidBase int, tsOffset uint64, procPrefix string, extraArgs map[string]any) {
 	type lane struct{ pid, tid int }
 	seen := map[lane]bool{}
 	for _, e := range events {
-		pid, tid := e.Channel, e.Thread+1
+		pid, tid := pidBase+e.Channel, e.Thread+1
 		l := lane{pid, tid}
 		if !seen[l] {
 			seen[l] = true
-			out.TraceEvents = append(out.TraceEvents,
+			*out = append(*out,
 				chromeEvent{Name: "process_name", Phase: "M", Pid: pid, Tid: tid,
-					Args: map[string]any{"name": fmt.Sprintf("channel %d", pid)}},
+					Args: map[string]any{"name": fmt.Sprintf("%schannel %d (cycles)", procPrefix, e.Channel)}},
 				chromeEvent{Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
 					Args: map[string]any{"name": laneName(e.Thread)}},
 			)
 		}
 		args := map[string]any{
-			"req":  e.ReqID,
-			"addr": fmt.Sprintf("0x%x", e.Addr),
-			"bank": fmt.Sprintf("%d/%d", e.Chip, e.Bank),
-			"row":  e.Row,
-			"read": e.Read,
+			"req":   e.ReqID,
+			"addr":  fmt.Sprintf("0x%x", e.Addr),
+			"bank":  fmt.Sprintf("%d/%d", e.Chip, e.Bank),
+			"row":   e.Row,
+			"read":  e.Read,
+			"cycle": e.At,
 		}
 		if e.Outcome != "" {
 			args["outcome"] = e.Outcome
 		}
+		for k, v := range extraArgs {
+			args[k] = v
+		}
 		ce := chromeEvent{
 			Name: e.Kind.String(), Cat: reqCat(e.Read),
-			Ts: e.At, Pid: pid, Tid: tid, Args: args,
+			Ts: tsOffset + e.At, Pid: pid, Tid: tid, Args: args,
 		}
 		if e.End > e.At {
 			ce.Phase = "X"
@@ -165,10 +181,8 @@ func WriteChrome(w io.Writer, events []Event) error {
 			ce.Phase = "i"
 			ce.Scope = "t"
 		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		*out = append(*out, ce)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
 }
 
 func laneName(thread int) string {

@@ -20,12 +20,16 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Pool bounds how many submitted jobs run concurrently.
 type Pool struct {
 	jobs int
 	sem  chan struct{}
+	// instr, when set, observes every pooled job's slot wait (submission →
+	// worker-slot acquisition). See Instrument.
+	instr func(name string, wait time.Duration)
 }
 
 // New builds a pool running up to jobs submissions concurrently. jobs < 1
@@ -61,6 +65,15 @@ func NewPooled(jobs int) *Pool {
 
 // Jobs reports the concurrency bound.
 func (p *Pool) Jobs() int { return p.jobs }
+
+// Instrument installs a queue-wait observer: fn fires on the worker goroutine
+// the moment a pooled job acquires its slot, carrying the job's label and how
+// long it sat queued behind the concurrency bound. The serving daemon feeds
+// this into its pool-wait histogram. fn must be safe to call from many worker
+// goroutines at once. Lazy (1-job) pools never queue, so fn never fires for
+// them. Install before the first Submit; later installation races with
+// in-flight jobs reading the hook.
+func (p *Pool) Instrument(fn func(name string, wait time.Duration)) { p.instr = fn }
 
 // Future is the pending result of one submitted job.
 type Future[T any] struct {
@@ -171,6 +184,7 @@ func SubmitNamedCtx[T any](p *Pool, ctx context.Context, name string, fn func(co
 		return &Future[T]{fn: run}
 	}
 	f := &Future[T]{done: make(chan struct{})}
+	queued := time.Now()
 	go func() {
 		select {
 		case p.sem <- struct{}{}:
@@ -180,6 +194,9 @@ func SubmitNamedCtx[T any](p *Pool, ctx context.Context, name string, fn func(co
 			return
 		}
 		defer func() { <-p.sem }()
+		if p.instr != nil {
+			p.instr(name, time.Since(queued))
+		}
 		f.val, f.err = run()
 		close(f.done)
 	}()

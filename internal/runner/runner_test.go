@@ -329,3 +329,61 @@ func TestMemoGetCtxReportsCreated(t *testing.T) {
 		t.Fatalf("after Forget, memo holds %d entries", memo.Len())
 	}
 }
+
+// TestInstrumentObservesSlotWait: the hook fires once per pooled job with its
+// label, and a job queued behind a saturated pool reports a wait at least as
+// long as the blocking job's runtime.
+func TestInstrumentObservesSlotWait(t *testing.T) {
+	p := NewPooled(1)
+	var mu sync.Mutex
+	waits := map[string]time.Duration{}
+	p.Instrument(func(name string, wait time.Duration) {
+		mu.Lock()
+		waits[name] = wait
+		mu.Unlock()
+	})
+
+	block := make(chan struct{})
+	first := SubmitNamed(p, "holder", func() (int, error) {
+		<-block
+		return 1, nil
+	})
+	// Give the holder time to take the only slot, then queue behind it.
+	time.Sleep(20 * time.Millisecond)
+	second := SubmitNamed(p, "queued", func() (int, error) { return 2, nil })
+	time.Sleep(30 * time.Millisecond)
+	close(block)
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 2 {
+		t.Fatalf("hook fired for %d jobs, want 2: %v", len(waits), waits)
+	}
+	if waits["queued"] < 25*time.Millisecond {
+		t.Fatalf("queued job waited %v, want at least the holder's 25ms+ occupancy", waits["queued"])
+	}
+	if waits["holder"] > 20*time.Millisecond {
+		t.Fatalf("holder job reports %v slot wait on an empty pool", waits["holder"])
+	}
+}
+
+// TestInstrumentNeverFiresOnLazyPools: a 1-job Sequential pool runs inline at
+// Wait and has no queue, so the hook must stay silent.
+func TestInstrumentNeverFiresOnLazyPools(t *testing.T) {
+	p := Sequential()
+	fired := atomic.Int32{}
+	p.Instrument(func(string, time.Duration) { fired.Add(1) })
+	f := Submit(p, func() (int, error) { return 3, nil })
+	if v, err := f.Wait(); v != 3 || err != nil {
+		t.Fatalf("Wait = %d, %v", v, err)
+	}
+	if fired.Load() != 0 {
+		t.Fatalf("instrument hook fired %d times on a lazy pool", fired.Load())
+	}
+}

@@ -143,6 +143,23 @@ func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error)
 	return raw, err
 }
 
+// Trace fetches one job's Chrome trace_event JSON — the wall-clock span tree
+// (admission → queue → run → respond) plus, for jobs submitted with
+// SimRequest.Trace, the cycle-domain request lifecycle, all in one
+// Perfetto-loadable payload.
+func (c *Client) Trace(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &raw)
+	return raw, err
+}
+
+// Stats fetches the daemon's /v1/stats snapshot.
+func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
+	var st server.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
 // Cancel aborts a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
 	var st server.JobStatus

@@ -45,8 +45,13 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := "sim|" + cfg.Fingerprint()
+	if req.Trace {
+		// Separate cache/dedup key: the result bytes are identical, but a
+		// traced submission must reach a real run to collect cycle events.
+		fp += "|traced"
+	}
 	s.submit(w, "sim", fp, func(fl *flight) func(context.Context) (json.RawMessage, error) {
-		return s.simFlightFn(fl, cfg)
+		return s.simFlightFn(fl, cfg, req.Trace)
 	})
 }
 
@@ -149,8 +154,10 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	if !already {
 		s.releaseSlot(j)
 		s.count(s.mCancelled)
-		s.observeLatency(dur)
-		s.logf("job %s cancelled after %s (flight cancelled: %v)", j.id, dur.Truncate(time.Millisecond), cancelFlight)
+		j.span.SetAttr("state", string(StateCancelled))
+		j.span.End()
+		s.log.Info("job cancelled", "job", j.id, "flight", j.flightID,
+			"dur", dur.Truncate(time.Millisecond), "flight_cancelled", cancelFlight)
 	}
 	if cancelFlight {
 		fl.cancel()

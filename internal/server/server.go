@@ -22,8 +22,12 @@
 //	GET    /v1/jobs/{id}/result raw result bytes (the byte-identical payload)
 //	GET    /v1/jobs/{id}/events SSE progress stream (progress*, then done)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace Chrome trace_event JSON for one job (wall + cycle domains)
+//	GET    /v1/stats           JSON stats snapshot (per-phase latency percentiles)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness + drain state
+//	GET    /debug/trace        Chrome trace_event JSON of the whole span buffer
+//	GET    /debug/dash         live HTML dashboard (SSE-fed)
 package server
 
 import (
@@ -31,6 +35,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -59,8 +65,13 @@ type Config struct {
 	// MaxTrackedJobs bounds the job table; the oldest finished jobs are
 	// forgotten beyond it (default 4096).
 	MaxTrackedJobs int
-	// Logf, when non-nil, receives one line per lifecycle event.
-	Logf func(format string, args ...any)
+	// SpanCapacity bounds the wall-clock span buffer behind /debug/trace and
+	// the per-job traces; the oldest finished spans fall off first (default
+	// 8192).
+	SpanCapacity int
+	// Logger receives structured lifecycle logs with job/flight correlation
+	// keys. Nil discards all logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTrackedJobs <= 0 {
 		c.MaxTrackedJobs = 4096
+	}
+	if c.SpanCapacity <= 0 {
+		c.SpanCapacity = 8192
 	}
 	return c
 }
@@ -118,9 +132,27 @@ type job struct {
 	id      string
 	kind    string // "sim" or "figure"
 	fp      string
-	created time.Time
+	created time.Time // submit-entry instant; anchors the phase accounting
 	deduped bool
 	cached  bool
+
+	// Tracing state, written under Server.mu before the job is reachable (or,
+	// for simEvents, by awaitFlight under Server.mu before detaching): the
+	// job's root span, its queue-wait child, the flight it rode, and — for
+	// traced simulations — the cycle-domain lifecycle events correlated into
+	// the per-job trace.
+	span      *obs.Span
+	queueSpan *obs.Span
+	flightID  string
+	simEvents []obs.Event
+	simStart  time.Time
+
+	// tAdmitted is set under Server.mu pre-publication; tRunStart under
+	// job.mu (markRunning), or pre-publication for jobs joining a started
+	// flight. With created and the finish instant they telescope: admission +
+	// queue + run + respond == end-to-end, exactly.
+	tAdmitted time.Time
+	tRunStart time.Time
 
 	// flight is the in-flight computation this job is attached to (nil once
 	// resolved or detached). Guarded by Server.mu.
@@ -155,6 +187,7 @@ func (j *job) status(includeResult bool) JobStatus {
 // the same fingerprint while it runs. Exactly one goroutine (awaitFlight)
 // waits on the future, so the pool's lazy single-worker mode stays safe.
 type flight struct {
+	id     string // "f-N", the trace correlation key shared by deduped jobs
 	fp     string
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -165,6 +198,15 @@ type flight struct {
 	refs    int
 	jobs    []*job
 	started bool
+	// rootSpan is the initiating job's root span (set at creation); span is
+	// the "run" child opened when a worker picks the flight up (markRunning)
+	// and ended when the future resolves. For traced simulations simStart
+	// anchors cycle 0 in wall time and simEvents holds the lifecycle trace.
+	// All guarded by Server.mu.
+	rootSpan  *obs.Span
+	span      *obs.Span
+	simStart  time.Time
+	simEvents []obs.Event
 }
 
 // Server is the daemon. Build with New, mount Handler, and Drain on
@@ -181,15 +223,23 @@ type Server struct {
 	cache     *lruCache
 	startedAt time.Time
 
-	slots    chan struct{} // admission tokens: queued + running jobs
-	wg       sync.WaitGroup
-	baseCtx  context.Context
-	baseStop context.CancelFunc
-	draining atomic.Bool
-	nextID   atomic.Uint64
+	slots      chan struct{} // admission tokens: queued + running jobs
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseStop   context.CancelFunc
+	draining   atomic.Bool
+	nextID     atomic.Uint64
+	nextFlight atomic.Uint64
+	busy       atomic.Int64 // flights currently executing on a pool worker
 
-	// Server metrics live in an obs.Registry rendered by /metrics; the
-	// registry is single-threaded, so metricsMu guards every touch.
+	log    *slog.Logger
+	spans  *obs.Spanner // wall-clock serving trace
+	vitals func() obs.RuntimeVitals
+
+	// Server metrics live in an obs.Registry rendered by /metrics. Counters
+	// are internally atomic; gauges and histograms are single-writer, so
+	// metricsMu guards every histogram observation and every render.
+	// metricsMu nests OUTSIDE s.mu: never acquire it while holding s.mu.
 	metricsMu    sync.Mutex
 	reg          *obs.Registry
 	mAccepted    *obs.Counter
@@ -203,7 +253,20 @@ type Server struct {
 	mFigsRun     *obs.Counter
 	mCacheHits   *obs.Counter
 	mCacheMisses *obs.Counter
-	latency      *obs.Histogram
+	// End-to-end latency splits by how the job was answered: served (a real
+	// run, or joining one) vs cache (answered from the LRU). Folding both
+	// into one histogram would poison the percentiles — cache hits are ~0 ms.
+	latServed *obs.Histogram // ms
+	latCache  *obs.Histogram // ms
+	// µs-resolution series feed /v1/stats' percentiles: the served
+	// end-to-end plus its exact phase partition, and the pool's slot wait.
+	latServedUs *obs.Histogram
+	latCacheUs  *obs.Histogram
+	phAdmitUs   *obs.Histogram
+	phQueueUs   *obs.Histogram
+	phRunUs     *obs.Histogram
+	phRespondUs *obs.Histogram
+	poolWaitUs  *obs.Histogram
 }
 
 // New builds a Server.
@@ -219,7 +282,18 @@ func New(cfg Config) *Server {
 		startedAt: time.Now(),
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.spans = obs.NewSpanner(cfg.SpanCapacity)
 
+	msBounds := []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+	usBounds := []uint64{
+		50, 100, 250, 500,
+		1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+		1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000,
+	}
 	s.reg = obs.NewRegistry(1)
 	s.mAccepted = s.reg.Counter("jobs_accepted_total")
 	s.mRejected = s.reg.Counter("jobs_rejected_total")
@@ -230,16 +304,32 @@ func New(cfg Config) *Server {
 	s.mCancelled = s.reg.Counter("jobs_cancelled_total")
 	s.mSimsRun = s.reg.Counter("sims_run_total")
 	s.mFigsRun = s.reg.Counter("figures_run_total")
-	s.latency = s.reg.Histogram("job_latency_ms", []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000})
+	s.latServed = s.reg.Histogram("job_latency_served_ms", msBounds)
+	s.latCache = s.reg.Histogram("job_latency_cache_ms", msBounds)
+	s.latServedUs = s.reg.Histogram("job_latency_served_us", usBounds)
+	s.latCacheUs = s.reg.Histogram("job_latency_cache_us", usBounds)
+	s.phAdmitUs = s.reg.Histogram("phase_admission_us", usBounds)
+	s.phQueueUs = s.reg.Histogram("phase_queue_us", usBounds)
+	s.phRunUs = s.reg.Histogram("phase_run_us", usBounds)
+	s.phRespondUs = s.reg.Histogram("phase_respond_us", usBounds)
+	s.poolWaitUs = s.reg.Histogram("pool_wait_us", usBounds)
+	s.pool.Instrument(func(_ string, wait time.Duration) {
+		s.metricsMu.Lock()
+		s.poolWaitUs.Observe(usOf(wait))
+		s.metricsMu.Unlock()
+	})
 	s.reg.Gauge("queue_depth", func(uint64) float64 { return float64(len(s.slots)) })
 	s.reg.Gauge("queue_capacity", func(uint64) float64 { return float64(cfg.QueueDepth) })
 	s.reg.Gauge("workers", func(uint64) float64 { return float64(s.pool.Jobs()) })
+	s.reg.Gauge("workers_busy", func(uint64) float64 { return float64(s.busy.Load()) })
 	s.reg.Gauge("uptime_seconds", func(uint64) float64 { return time.Since(s.startedAt).Seconds() })
+	s.reg.Gauge("trace_spans_dropped", func(uint64) float64 { return float64(s.spans.Dropped()) })
 	s.reg.Gauge("cache_entries", func(uint64) float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(s.cache.len())
 	})
+	s.vitals = obs.RegisterRuntimeMetrics(s.reg)
 	// Hits and misses are monotonic, so they are registry counters (the
 	// _total suffix promises counter semantics to Prometheus tooling), counted
 	// per submission: one outcome for the first lookup, plus a hit if the
@@ -249,22 +339,35 @@ func New(cfg Config) *Server {
 	return s
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// count increments a server counter; counters are atomic, so no lock.
+func (s *Server) count(c *obs.Counter) { c.Inc() }
+
+// usOf converts a duration to whole non-negative microseconds.
+func usOf(d time.Duration) uint64 {
+	if d < 0 {
+		return 0
 	}
+	return uint64(d.Microseconds())
 }
 
-// count increments a server counter under the registry lock.
-func (s *Server) count(c *obs.Counter) {
+// observeCacheHit records a cache-answered submission's end-to-end latency.
+func (s *Server) observeCacheHit(d time.Duration) {
 	s.metricsMu.Lock()
-	c.Inc()
+	s.latCache.Observe(uint64(d.Milliseconds()))
+	s.latCacheUs.Observe(usOf(d))
 	s.metricsMu.Unlock()
 }
 
-func (s *Server) observeLatency(d time.Duration) {
+// observeServed records a served job's end-to-end latency and its exact
+// phase partition (admission + queue + run + respond == e2e).
+func (s *Server) observeServed(e2e, admit, queue, run, respond time.Duration) {
 	s.metricsMu.Lock()
-	s.latency.Observe(uint64(d.Milliseconds()))
+	s.latServed.Observe(uint64(e2e.Milliseconds()))
+	s.latServedUs.Observe(usOf(e2e))
+	s.phAdmitUs.Observe(usOf(admit))
+	s.phQueueUs.Observe(usOf(queue))
+	s.phRunUs.Observe(usOf(run))
+	s.phRespondUs.Observe(usOf(respond))
 	s.metricsMu.Unlock()
 }
 
@@ -276,9 +379,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
+	mux.HandleFunc("GET /debug/dash/stream", s.handleDashStream)
 	return mux
 }
 
@@ -384,32 +492,50 @@ func (s *Server) releaseSlot(j *job) {
 // serveCachedLocked registers a done-from-cache job holding b and answers the
 // submission. The caller holds s.mu; it is released here, before any counter
 // is touched (metricsMu nests outside s.mu — the /metrics render holds it
-// while gauges read s.mu).
-func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte) {
+// while gauges read s.mu). root/adm are the submission's spans; both end
+// here with the cache-hit outcome.
+func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte, t0 time.Time, root, adm *obs.Span) {
 	j := s.newJobLocked(kind, fp)
 	j.cached = true
 	j.state = StateDone
 	j.result = b
+	j.span = root
+	root.SetAttr("job", j.id)
 	s.mu.Unlock()
+	adm.SetAttr("outcome", "cache_hit")
+	adm.End()
+	root.SetAttr("state", string(StateDone))
+	root.End()
 	s.count(s.mCacheHits)
 	s.count(s.mAccepted)
 	s.count(s.mCached)
-	s.observeLatency(0)
-	s.logf("job %s %s cache-hit fp=%q", j.id, kind, fp)
+	s.observeCacheHit(time.Since(t0))
+	s.log.Info("job cache hit", "job", j.id, "kind", kind, "fp", fp)
 	writeJSON(w, http.StatusOK, j.status(true))
 }
 
 // submit runs the common submission path: answer from cache, join an
-// in-flight twin, or start a new flight computing fn.
+// in-flight twin, or start a new flight computing fn. Every outcome — even a
+// rejection — leaves a span tree in the serving trace.
 func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
+	t0 := time.Now()
+	root := s.spans.Start("job", obs.A("kind", kind), obs.A("fp", fp))
+	adm := root.Child("admission")
+	endWith := func(outcome string) { // unadmitted exits: close the tree
+		adm.SetAttr("outcome", outcome)
+		adm.End()
+		root.SetAttr("state", outcome)
+		root.End()
+	}
 	if s.draining.Load() { // fast path; re-checked under s.mu before wg.Add
+		endWith("draining")
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 
 	s.mu.Lock()
 	if b, ok := s.cache.get(fp); ok {
-		s.serveCachedLocked(w, kind, fp, b)
+		s.serveCachedLocked(w, kind, fp, b, t0, root, adm)
 		return
 	}
 	s.mu.Unlock()
@@ -417,6 +543,7 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 
 	if !s.admit() {
 		s.count(s.mRejected)
+		endWith("rejected_queue_full")
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, fmt.Sprintf("job queue full (%d queued or running); retry later", s.cfg.QueueDepth))
 		return
@@ -429,6 +556,7 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 	if s.draining.Load() {
 		s.mu.Unlock()
 		<-s.slots // return the admission token
+		endWith("draining")
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -436,14 +564,14 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 	// the first check and admission, and starting a fresh simulation for bytes
 	// the cache already holds is wasted work.
 	if b, ok := s.cache.get(fp); ok {
-		s.serveCachedLocked(w, kind, fp, b)
+		s.serveCachedLocked(w, kind, fp, b, t0, root, adm)
 		<-s.slots // return the admission token; no flight was started
 		return
 	}
 	fl := s.flights[fp]
 	deduped := fl != nil
 	if fl == nil {
-		fl = &flight{fp: fp}
+		fl = &flight{id: fmt.Sprintf("f-%d", s.nextFlight.Add(1)), fp: fp, rootSpan: root}
 		fl.ctx, fl.cancel = context.WithCancel(s.baseCtx)
 		fl.fut, _ = s.memo.GetCtx(s.pool, fl.ctx, fp, fn(fl))
 		s.flights[fp] = fl
@@ -451,20 +579,36 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 		go s.awaitFlight(fl)
 	}
 	j := s.newJobLocked(kind, fp)
+	j.created = t0 // anchor phase accounting at submit entry, not allocation
 	j.deduped = deduped
 	j.flight = fl
+	j.flightID = fl.id
+	j.span = root
+	root.SetAttr("job", j.id)
+	root.SetAttr("flight", fl.id)
+	j.tAdmitted = time.Now()
 	if fl.started {
+		// Joined a flight already on a worker: the queue phase is empty.
 		j.state = StateRunning
+		j.tRunStart = j.tAdmitted
+	} else {
+		j.queueSpan = root.Child("queue_wait")
 	}
 	fl.refs++
 	fl.jobs = append(fl.jobs, j)
 	s.mu.Unlock()
 
+	outcome := "admitted"
+	if deduped {
+		outcome = "deduped"
+	}
+	adm.SetAttr("outcome", outcome)
+	adm.End()
 	s.count(s.mAccepted)
 	if deduped {
 		s.count(s.mDeduped)
 	}
-	s.logf("job %s %s accepted fp=%q deduped=%v", j.id, kind, fp, deduped)
+	s.log.Info("job accepted", "job", j.id, "kind", kind, "fp", fp, "flight", fl.id, "deduped", deduped)
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
 
@@ -473,6 +617,7 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 func (s *Server) awaitFlight(fl *flight) {
 	defer s.wg.Done()
 	val, err := fl.fut.Wait()
+	resolved := time.Now()
 
 	s.mu.Lock()
 	if err == nil {
@@ -484,22 +629,36 @@ func (s *Server) awaitFlight(fl *flight) {
 	// The memo tracks only in-flight work: successes move to the LRU, and
 	// failures already forgot themselves, so this is a no-op there.
 	s.memo.Forget(fl.fp)
+	if fl.span != nil {
+		if err != nil {
+			fl.span.SetAttr("error", err.Error())
+		}
+		fl.span.End()
+	}
 	jobs := append([]*job(nil), fl.jobs...)
 	fl.jobs = nil
 	for _, j := range jobs {
 		j.flight = nil
+		// Hand the cycle-domain trace (if any) to every rider, so each job's
+		// /trace shows both clock domains. The slice is immutable from here.
+		j.simEvents = fl.simEvents
+		j.simStart = fl.simStart
 	}
 	s.mu.Unlock()
 	fl.cancel() // release the context; the run is over
 
 	for _, j := range jobs {
-		s.finishJob(j, val, err)
+		s.finishJob(j, val, err, resolved)
 	}
 }
 
 // finishJob moves one job to its terminal state (unless cancellation beat
-// us), wakes its subscribers, frees its slot, and records metrics.
-func (s *Server) finishJob(j *job, val []byte, err error) {
+// us), wakes its subscribers, frees its slot, closes its span tree, and
+// records the phase-partitioned latency metrics. resolved is the instant the
+// flight's future resolved — the run→respond phase boundary shared by every
+// rider of the flight.
+func (s *Server) finishJob(j *job, val []byte, err error, resolved time.Time) {
+	respond := j.span.Child("respond")
 	j.mu.Lock()
 	transitioned := false
 	if !j.state.Terminal() {
@@ -516,28 +675,45 @@ func (s *Server) finishJob(j *job, val []byte, err error) {
 		}
 		j.subs = nil
 	}
-	dur := time.Since(j.created)
 	state := j.state
+	tAdmitted, tRunStart := j.tAdmitted, j.tRunStart
 	j.mu.Unlock()
 
 	s.releaseSlot(j)
+	respond.End()
+	j.span.SetAttr("state", string(state))
+	j.span.End()
+	done := time.Now()
+	dur := done.Sub(j.created)
 	if transitioned {
 		if state == StateFailed {
 			s.count(s.mFailed)
-			s.logf("job %s failed after %s: %v", j.id, dur.Truncate(time.Millisecond), err)
+			s.log.Warn("job failed", "job", j.id, "flight", j.flightID, "dur", dur.Truncate(time.Millisecond), "err", err)
 		} else {
 			s.count(s.mCompleted)
-			s.logf("job %s done in %s", j.id, dur.Truncate(time.Millisecond))
+			s.log.Info("job done", "job", j.id, "flight", j.flightID, "dur", dur.Truncate(time.Millisecond))
+			// The four phases partition [created, done] exactly:
+			// admission ends at tAdmitted, queue at tRunStart, run at
+			// resolved, respond at done.
+			s.observeServed(dur, tAdmitted.Sub(j.created), tRunStart.Sub(tAdmitted), resolved.Sub(tRunStart), done.Sub(resolved))
 		}
-		s.observeLatency(dur)
 	}
 }
 
 // markRunning flips a flight's attached jobs to running; called by the
-// flight's compute fn the moment a pool worker picks it up.
-func (s *Server) markRunning(fl *flight) {
+// flight's compute fn the moment a pool worker picks it up. It also opens
+// the flight's "run" span (a child of the initiating job's root) and closes
+// every rider's queue_wait span, stamping the run-start instant the phase
+// accounting uses. Returns the run span for the compute fn to hand to the
+// simulator.
+func (s *Server) markRunning(fl *flight) *obs.Span {
+	now := time.Now()
 	s.mu.Lock()
 	fl.started = true
+	if fl.span == nil {
+		fl.span = fl.rootSpan.Child("run", obs.A("flight", fl.id))
+	}
+	run := fl.span
 	jobs := append([]*job(nil), fl.jobs...)
 	s.mu.Unlock()
 	for _, j := range jobs {
@@ -545,8 +721,15 @@ func (s *Server) markRunning(fl *flight) {
 		if j.state == StateQueued {
 			j.state = StateRunning
 		}
+		if j.tRunStart.IsZero() {
+			j.tRunStart = now
+		}
+		qs := j.queueSpan
+		j.queueSpan = nil
 		j.mu.Unlock()
+		qs.End()
 	}
+	return run
 }
 
 // broadcastProgress fans a progress sample out to every subscriber of every
@@ -573,12 +756,14 @@ func (s *Server) broadcastProgress(fl *flight, sample []byte) {
 // machine under the flight's context with a progress-streaming observer and
 // marshal the Result. The marshalled bytes are the byte-identical payload —
 // the same json.Marshal of the same core.Result the CLI's -json flag emits.
-func (s *Server) simFlightFn(fl *flight, cfg core.Config) func(context.Context) (json.RawMessage, error) {
+func (s *Server) simFlightFn(fl *flight, cfg core.Config, traced bool) func(context.Context) (json.RawMessage, error) {
 	return func(ctx context.Context) (json.RawMessage, error) {
-		s.markRunning(fl)
+		runSpan := s.markRunning(fl)
+		s.busy.Add(1)
+		defer s.busy.Add(-1)
 		s.count(s.mSimsRun)
 		var sim *core.Simulator
-		ob := &obs.Observer{ProgressInterval: s.cfg.ProgressInterval}
+		ob := &obs.Observer{ProgressInterval: s.cfg.ProgressInterval, RunSpan: runSpan}
 		ob.Progress = func(now uint64) {
 			if sim == nil {
 				return // constructor-time call; nothing to report yet
@@ -587,13 +772,26 @@ func (s *Server) simFlightFn(fl *flight, cfg core.Config) func(context.Context) 
 				s.broadcastProgress(fl, b)
 			}
 		}
+		if traced {
+			// Cycle-domain lifecycle trace, merged into per-job traces by
+			// wall-clock offset. Observation only: the tracer never constrains
+			// the two-speed clock, so results stay byte-identical.
+			ob.Trace = obs.NewTracer()
+		}
 		cfg.Observe = func() *obs.Observer { return ob }
 		var err error
 		sim, err = core.NewSimulator(cfg)
 		if err != nil {
 			return nil, err
 		}
+		simStart := time.Now() // wall-clock instant of cycle 0
 		res, err := sim.RunContext(ctx)
+		if ob.Trace != nil {
+			s.mu.Lock()
+			fl.simStart = simStart
+			fl.simEvents = ob.Trace.Events()
+			s.mu.Unlock()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -609,6 +807,8 @@ func (s *Server) simFlightFn(fl *flight, cfg core.Config) func(context.Context) 
 func (s *Server) figFlightFn(fl *flight, req FigRequest) func(context.Context) (json.RawMessage, error) {
 	return func(ctx context.Context) (json.RawMessage, error) {
 		s.markRunning(fl)
+		s.busy.Add(1)
+		defer s.busy.Add(-1)
 		s.count(s.mFigsRun)
 		var buf bytes.Buffer
 		if err := req.run(ctx, s.pool.Jobs(), &buf); err != nil {

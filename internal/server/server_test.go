@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -25,6 +26,18 @@ func newTestDaemon(t *testing.T, cfg server.Config) (*server.Server, *client.Cli
 		srv.Close()
 	})
 	return srv, client.New(ts.URL)
+}
+
+// testLogWriter routes the daemon's slog output into the test log.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
 }
 
 func smallSim() server.SimRequest {
@@ -50,7 +63,7 @@ func TestSimResultByteIdenticalToDirectRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, c := newTestDaemon(t, server.Config{Logf: t.Logf})
+	_, c := newTestDaemon(t, server.Config{Logger: testLogger(t)})
 	ctx := context.Background()
 	st, err := c.SubmitSim(ctx, req)
 	if err != nil {

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"net/http"
+
+	"smtdram/internal/obs"
+)
+
+// handleJobTrace serves one job's combined two-domain trace as Chrome
+// trace_event JSON: the job's wall-clock spans (admission → queue → run →
+// respond, plus the simulator's warmup/measure phases), and — when the job
+// was submitted with "trace": true — the simulation's cycle-domain request
+// lifecycle, anchored so cycle 0 lands at the wall-clock instant the run
+// started. Load the payload in ui.perfetto.dev; every event carries a "job"
+// arg correlating the domains.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	simEvents, simStart := j.simEvents, j.simStart
+	s.mu.Unlock()
+
+	id, flightID := j.id, j.flightID
+	spans := obs.FilterSpans(s.spans.Snapshot(), func(rec obs.SpanRecord) bool {
+		// The job's own tree, plus the run span of the flight it rode — for a
+		// deduped job that subtree hangs off the initiating job's root.
+		if rec.Attr("job") == id {
+			return true
+		}
+		return flightID != "" && rec.Attr("flight") == flightID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeJobTrace(w, obs.JobTrace{
+		JobID: id, Spans: spans, Base: s.spans.Base(),
+		SimEvents: simEvents, SimStart: simStart,
+	})
+}
+
+// handleDebugTrace dumps the daemon's whole wall-clock span buffer as Chrome
+// trace_event JSON — every retained job's spans side by side, one track per
+// job, open spans drawn to now.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeSpans(w, s.spans.Snapshot(), s.spans.Base())
+}
