@@ -21,6 +21,7 @@ import (
 	"smtdram/internal/dram"
 	"smtdram/internal/figures"
 	"smtdram/internal/memctrl"
+	"smtdram/internal/obs"
 )
 
 // benchOpts is the reduced experiment size used by the benchmarks.
@@ -76,12 +77,19 @@ func benchMEMMixCfg() core.Config {
 	return cfg
 }
 
-func benchMEMMix(b *testing.B, disableSkip bool) {
+func benchMEMMix(b *testing.B, disableSkip, observed bool) {
 	b.ReportAllocs()
 	var cycles, skipped, wall uint64
 	for i := 0; i < b.N; i++ {
 		cfg := benchMEMMixCfg()
 		cfg.DisableClockSkip = disableSkip
+		if observed {
+			// A daemon-style progress observer: the cheapest real observer the
+			// serving path attaches to every job. It must not constrain the
+			// two-speed clock (no registry, so no sample boundaries).
+			ob := &obs.Observer{Progress: func(uint64) {}, ProgressInterval: 10_000}
+			cfg.Observe = func() *obs.Observer { return ob }
+		}
 		s, err := core.NewSimulator(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -99,11 +107,15 @@ func benchMEMMix(b *testing.B, disableSkip bool) {
 }
 
 // BenchmarkRunMEMMix measures the two-speed clock on its target workload; the
-// NoSkip variant is the every-cycle baseline. simcycles/run must be identical
-// between the two (the skip is byte-equivalent by construction) and ns/op is
-// ~2x apart on this mix (BENCH_skip.json records the measured pair).
-func BenchmarkRunMEMMix(b *testing.B)       { benchMEMMix(b, false) }
-func BenchmarkRunMEMMixNoSkip(b *testing.B) { benchMEMMix(b, true) }
+// NoSkip variant is the every-cycle baseline and the Observed variant attaches
+// the serving daemon's progress observer. simcycles/run must be identical
+// across all three (the skip is byte-equivalent by construction), the
+// Observed skiprate must match the bare one (observers ride the deep path,
+// they don't disable it), and ns/op is ~3x apart between skip and NoSkip on
+// this mix (BENCH_memskip.json records the measured numbers).
+func BenchmarkRunMEMMix(b *testing.B)         { benchMEMMix(b, false, false) }
+func BenchmarkRunMEMMixNoSkip(b *testing.B)   { benchMEMMix(b, true, false) }
+func BenchmarkRunMEMMixObserved(b *testing.B) { benchMEMMix(b, false, true) }
 
 // BenchmarkParallelFigures measures the parallel experiment scheduler on a
 // figure-sized sweep (Figure 6: 9 mixes × 3 channel counts plus the shared

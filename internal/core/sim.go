@@ -377,23 +377,51 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	}
 	skipping := !s.cfg.DisableClockSkip
 	// Deep skip lets a quiet span pass through event cycles whose work is
-	// internal to the memory system (an MSHR chain hop, a controller retry
-	// timer) without landing: the events fire at their exact cycles, and the
+	// internal to the memory system (an MSHR chain hop, a controller
+	// bank-ready retry, a fault-retry backoff expiry) without landing: the
+	// events fire at their exact cycles via the queue's span drain, and the
 	// span ends only when one delivers CPU-visible state — a fill reaching
 	// an L1, a branch resolving — which the caches and CPU report through
-	// the wakeup hint (cpu.TakeWake). It needs the observer detached (loop
-	// profiling attributes fired events to landed cycles) and no failover
-	// watch (the failover snapshot is taken by landed polling), so those
-	// runs fall back to landing on every event.
-	deep := skipping && s.obs == nil && !watchFail
+	// the wakeup hint (cpu.TakeWake). Observed and failover-watching runs
+	// take the same path: loop profiling replays sailed-through event cycles
+	// through OnEventCycle and the skipped remainder through OnCycleSkip,
+	// registry sampling is bounded by clamp (sample cycles always land), and
+	// clamp caps any span crossing the planned channel-failure cycle so the
+	// landed failover poll below sees it exactly when a ticked run would.
+	//
+	// obsFrom/obsFired are the observer replay cursor inside the open span:
+	// the last observed cycle and the queue's cumulative event count there.
+	var obsFrom, obsFired uint64
+	// drainStop is the span drain's per-event-cycle callback: it decides
+	// whether the batch at ea delivered CPU-visible state, and keeps the
+	// observer's per-cycle accounting exact either way — the quiet gap
+	// (obsFrom, ea-1] replays as skipped, and a sailed-through ea is
+	// observed as an event cycle. On a wake the cursor stops at ea-1: cycle
+	// ea is observed by whichever path lands on or re-opens across it.
+	drainStop := func(ea uint64) bool {
+		woke := s.cpu.TakeWake()
+		if s.obs != nil {
+			s.obs.OnCycleSkip(obsFrom, ea-1, obsFired)
+			if woke {
+				obsFrom = ea - 1
+			} else {
+				obsFired = s.q.Fired()
+				s.obs.OnEventCycle(ea, obsFired)
+				obsFrom = ea
+			}
+		}
+		return woke
+	}
 	// clamp bounds a quiet jump from cycle n: the watchdog's 1024-cycle
 	// boundaries are emulated (inside a quiet window nothing commits, so the
 	// first skipped boundary would record any progress made since the last
 	// check, and the check trips at the first boundary a full watchdog window
 	// past lastProgress — replicate the recording and land on the trip
 	// boundary, where the landed check fires exactly as the baseline's
-	// would), observer sample boundaries force a landing, and the jump never
-	// exits the cycle budget.
+	// would), observer sample boundaries force a landing, a still-pending
+	// planned channel failure forces a landing on its cycle (the failover
+	// snapshot is taken by landed polling), and the jump never exits the
+	// cycle budget.
 	clamp := func(n, target uint64) uint64 {
 		if c := s.cpu.TotalCommitted; c != lastCommitted {
 			if b0 := (n>>10 + 1) << 10; target > b0 {
@@ -408,6 +436,11 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		if s.obs != nil {
 			if b := s.obs.NextBoundary(); b > 0 && b < target {
 				target = b
+			}
+		}
+		if watchFail && s.fsn == nil {
+			if fa, ok := s.ctrl.PlannedFailAt(); ok && fa < target {
+				target = fa
 			}
 		}
 		if target > limit+1 {
@@ -488,101 +521,81 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			// cycle the contract would forbid.
 			continue
 		}
-		if deep {
-			// One fused probe yields both the skip bound and the replay
-			// terms, captured before any in-window event can mutate the
-			// state they are derived from. The event queue is not consulted
-			// up front — in-span events are handled below, at their exact
-			// cycles. A memory-internal event (an MSHR chain hop, a
-			// controller retry timer) changes neither the CPU nor the L1s, so
-			// the span sails straight through it. An event that does deliver
-			// CPU-visible state closes the current sub-span — but the span
-			// only ends there if the CPU actually has work at that cycle: a
-			// fill that matures a mid-ROB entry with no ready dependents
-			// leaves the machine just as idle, so the span re-opens from the
-			// post-event state, which is exactly what a ticked run's
-			// subsequent idle cycles would see.
-			cpuNext, fx, quiet := s.cpu.ProbeQuiet(now)
-			if !quiet || cpuNext <= now+1 {
-				continue
-			}
-			if cpuNext == ^uint64(0) {
-				if _, qok := s.q.NextAt(); !qok && !s.ctrl.Quiet() {
-					// A non-quiet controller with an empty event queue is a
-					// lost wakeup — a bug, but one that must deadlock
-					// identically in both modes, so step instead of skipping
-					// over it.
-					continue
-				}
-			}
-			target := clamp(now, cpuNext)
-			if target <= now+1 {
-				continue
-			}
-			from := now
-			var total uint64
-			s.cpu.TakeWake() // events up to now already informed this Tick
-			land := target
-			for {
-				ea, eok := s.q.NextAt()
-				if !eok || ea >= land {
-					break
-				}
-				s.q.RunUntil(ea)
-				if !s.cpu.TakeWake() {
-					continue // memory-internal: sail through
-				}
-				total += ea - 1 - from
-				s.cpu.ApplyQuiet(fx, ea-1-from)
-				from = ea - 1
-				next, nfx, q := s.cpu.ProbeQuiet(from)
-				if !q || next <= ea {
-					land = ea // Tick(ea) has real work: land on it
-					break
-				}
-				fx = nfx
-				land = clamp(from, next)
-				if land <= ea {
-					land = ea + 1 // defensive: next > ea keeps this exact
-				}
-			}
-			total += land - 1 - from
-			s.cpu.ApplyQuiet(fx, land-1-from)
-			if total > 0 {
-				s.recordSkip(total)
-			}
-			now = land - 1
-			continue
-		}
-		qa, qok := s.q.NextAt()
-		if qok && qa <= now+1 {
-			continue // memory work next cycle: the common busy-phase case
-		}
+		// One fused probe per side yields the skip bound and the replay
+		// terms, captured before any in-window event can mutate the state
+		// they are derived from. The event queue is not consulted up front —
+		// in-span events are handled by DrainQuiet, at their exact cycles. A
+		// memory-internal event (an MSHR chain hop, a controller retry
+		// timer) changes neither the CPU nor the L1s, so the span sails
+		// straight through it. An event that does deliver CPU-visible state
+		// closes the current sub-span — but the span only ends there if the
+		// CPU actually has work at that cycle: a fill that matures a mid-ROB
+		// entry with no ready dependents leaves the machine just as idle, so
+		// the span re-opens from the post-event state, which is exactly what
+		// a ticked run's subsequent idle cycles would see.
 		cpuNext, fx, quiet := s.cpu.ProbeQuiet(now)
 		if !quiet || cpuNext <= now+1 {
 			continue
 		}
-		if cpuNext == ^uint64(0) && !qok && !s.ctrl.Quiet() {
-			// A non-quiet controller with an empty event queue is a lost
-			// wakeup — a bug, but one that must deadlock identically in both
-			// modes, so step instead of skipping over it.
-			continue
+		if cpuNext == ^uint64(0) {
+			// Only a memory-side event can unblock the CPU. The controller's
+			// mirror probe guarantees a non-quiet controller has its next
+			// interaction covered by a pending event, so an empty queue
+			// facing a non-quiet controller is a lost wakeup — a bug, but
+			// one that must deadlock identically in both modes, so step
+			// instead of skipping over it.
+			if _, qok := s.q.NextAt(); !qok {
+				if _, mquiet := s.ctrl.ProbeQuiet(now); !mquiet {
+					continue
+				}
+			}
 		}
-		target := cpuNext
-		if qok && qa < target {
-			target = qa
-		}
-		target = clamp(now, target)
+		target := clamp(now, cpuNext)
 		if target <= now+1 {
 			continue
 		}
-		to := target - 1 // cycles (now, to] are quiet; the loop lands on target
-		s.cpu.ApplyQuiet(fx, to-now)
-		if s.obs != nil {
-			s.obs.OnCycleSkip(now, to, s.q.Fired())
+		from := now
+		var total uint64
+		s.cpu.TakeWake() // events up to now already informed this Tick
+		obsFrom, obsFired = now, s.q.Fired()
+		land := target
+		for {
+			ea, woke := s.q.DrainQuiet(land, drainStop)
+			if !woke {
+				break
+			}
+			total += ea - 1 - from
+			s.cpu.ApplyQuiet(fx, ea-1-from)
+			from = ea - 1
+			next, nfx, q := s.cpu.ProbeQuiet(from)
+			if !q || next <= ea {
+				land = ea // Tick(ea) has real work: land on it
+				break
+			}
+			fx = nfx
+			if s.obs != nil {
+				obsFired = s.q.Fired()
+				s.obs.OnEventCycle(ea, obsFired)
+				obsFrom = ea
+			}
+			land = clamp(from, next)
+			if land <= ea {
+				land = ea + 1 // defensive: next > ea keeps this exact
+			}
 		}
-		s.recordSkip(to - now)
-		now = to
+		total += land - 1 - from
+		s.cpu.ApplyQuiet(fx, land-1-from)
+		if s.obs != nil {
+			s.obs.OnCycleSkip(obsFrom, land-1, obsFired)
+		}
+		// Settle the controller's span-aggregated accounting at the landing:
+		// the time-weighted concurrency histograms advance through the span
+		// in one exact step instead of lagging until the next state change.
+		s.ctrl.ApplyQuiet(land - 1)
+		if total > 0 {
+			s.recordSkip(total)
+		}
+		now = land - 1
 	}
 	if !sn.taken {
 		// Timed out during warmup: report whole-run (cold) measurements

@@ -6,12 +6,14 @@ import (
 
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
+	"smtdram/internal/faults"
 	"smtdram/internal/memctrl"
+	"smtdram/internal/obs"
 )
 
 // TestSkipLockstepDeep is the strong oracle for the deep-skip protocol: it
-// drives one machine with the exact sub-span re-probe sequence the run loop
-// uses (ProbeQuiet, sail-through, wake, re-probe) and a twin with plain
+// drives one machine with the exact span-drain sequence the run loop uses
+// (ProbeQuiet, DrainQuiet sail-through, wake, re-probe) and a twin with plain
 // per-cycle Ticks, comparing the full observable CPU fingerprint at every
 // landed cycle — and, stricter, asserting the twin's fingerprint never moves
 // during a cycle the protocol skipped. The end-to-end equivalence tests in
@@ -20,6 +22,14 @@ import (
 // multi-cycle optimism bug (a probe bound that is too far out) whose damage
 // happens mid-window. The one-cycle oracle in the cpu package
 // (TestNextWorkAtPredictsQuietCycles) structurally cannot.
+//
+// The observed variant attaches a loop profiler to both machines and replays
+// it exactly as the run loop would (OnCycle on landed cycles, OnEventCycle on
+// sailed-through event cycles, OnCycleSkip on quiet gaps), asserting the
+// replayed profile is identical to the ticked twin's per-cycle one. The
+// seeded-fault variant routes retry backoff timers and ECC scrubbing through
+// the span drain, where a deadline the controller probe failed to report
+// would surface as a lockstep divergence at its exact cycle.
 func TestSkipLockstepDeep(t *testing.T) {
 	base := func() Config {
 		cfg := fastCfg("mcf", "ammp", "swim", "lucas")
@@ -45,20 +55,33 @@ func TestSkipLockstepDeep(t *testing.T) {
 		cfg.CPU.Policy = cpu.FetchStall
 		return cfg
 	}
+	faulty := func() Config {
+		// Seeded bit-flip and drop faults arm retry backoff timers whose
+		// expiries are in-span events; the controller probe must report them
+		// (and the ECC scrub latency bumps) or the twin acts mid-window.
+		cfg := faultyCfg(&faults.Plan{BitFlipRate: 5e-2, DropRate: 5e-3, Seed: 11},
+			"mcf", "art", "swim", "lucas")
+		cfg.WarmupInstr = 60_000
+		cfg.TargetInstr = 40_000
+		return cfg
+	}
 	for _, tc := range []struct {
-		name string
-		cfg  func() Config
+		name     string
+		cfg      func() Config
+		observed bool
 	}{
-		{"default-mix", base},
-		{"serialized-fetchstall", serialized},
+		{"default-mix", base, false},
+		{"serialized-fetchstall", serialized, false},
+		{"seeded-faults", faulty, false},
+		{"observed-default-mix", base, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			lockstepDeep(t, tc.cfg)
+			lockstepDeep(t, tc.cfg, tc.observed)
 		})
 	}
 }
 
-func lockstepDeep(t *testing.T, mkCfg func() Config) {
+func lockstepDeep(t *testing.T, mkCfg func() Config, observed bool) {
 	mk := func() *Simulator {
 		s, err := NewSimulator(mkCfg())
 		if err != nil {
@@ -67,6 +90,14 @@ func lockstepDeep(t *testing.T, mkCfg func() Config) {
 		return s
 	}
 	s, u := mk(), mk()
+
+	// The observed variant profiles both machines: the skipping one through
+	// the replay protocol, the ticked twin through the plain per-cycle hook.
+	var sob, uob *obs.Observer
+	if observed {
+		sob = obs.New(obs.Options{Profile: true})
+		uob = obs.New(obs.Options{Profile: true})
+	}
 
 	// A short ring of recent protocol decisions, dumped on failure so the
 	// offending span is visible without re-instrumenting.
@@ -78,16 +109,41 @@ func lockstepDeep(t *testing.T, mkCfg func() Config) {
 		}
 	}
 
+	// The span drain's stop callback, mirroring Simulator.Run's drainStop:
+	// wake decision plus exact observer replay bookkeeping.
+	var obsFrom, obsFired uint64
+	drainStop := func(ea uint64) bool {
+		woke := s.cpu.TakeWake()
+		if sob != nil {
+			sob.OnCycleSkip(obsFrom, ea-1, obsFired)
+			if woke {
+				obsFrom = ea - 1
+			} else {
+				obsFired = s.q.Fired()
+				sob.OnEventCycle(ea, obsFired)
+				obsFrom = ea
+			}
+		}
+		return woke
+	}
+
 	const limit = 400_000
 	uNow := uint64(0)
-	for now := uint64(1); now <= limit; now++ {
+	var now uint64
+	for now = 1; now <= limit; now++ {
 		s.q.RunUntil(now)
 		s.cpu.Tick(now)
+		if sob != nil {
+			sob.OnCycle(now, s.q.Fired())
+		}
 		for uNow < now {
 			uNow++
 			u.q.RunUntil(uNow)
 			pre := u.cpu.Fingerprint()
 			u.cpu.Tick(uNow)
+			if uob != nil {
+				uob.OnCycle(uNow, u.q.Fired())
+			}
 			if uNow != now {
 				if post := u.cpu.Fingerprint(); post != pre {
 					for _, d := range decisions {
@@ -107,18 +163,33 @@ func lockstepDeep(t *testing.T, mkCfg func() Config) {
 		if s.cpu.AllFinished() {
 			break
 		}
+		// The controller probe's soundness invariant, asserted at every
+		// landed cycle: a non-quiet controller always has a finite next
+		// deadline, and that deadline is covered by a pending event — this
+		// is what makes the run loop's empty-queue lost-wakeup guard sound.
+		if mn, mq := s.ctrl.ProbeQuiet(now); !mq {
+			if mn == ^uint64(0) {
+				t.Fatalf("cycle %d: controller non-quiet with no finite deadline", now)
+			}
+			if _, qok := s.q.NextAt(); !qok {
+				t.Fatalf("cycle %d: controller non-quiet with an empty event queue", now)
+			}
+		}
 		if s.cpu.Acted() {
 			continue
 		}
 		// Deep sub-span re-probe, mirroring Simulator.Run (no watchdog or
-		// observer clamps here; the cycle limit stands in for the budget).
+		// sample-boundary clamps here; the cycle limit stands in for the
+		// budget).
 		cpuNext, fx, quiet := s.cpu.ProbeQuiet(now)
 		if !quiet || cpuNext <= now+1 {
 			continue
 		}
 		if cpuNext == ^uint64(0) {
-			if _, qok := s.q.NextAt(); !qok && !s.ctrl.Quiet() {
-				continue
+			if _, qok := s.q.NextAt(); !qok {
+				if _, mquiet := s.ctrl.ProbeQuiet(now); !mquiet {
+					continue
+				}
 			}
 		}
 		target := cpuNext
@@ -130,16 +201,13 @@ func lockstepDeep(t *testing.T, mkCfg func() Config) {
 		}
 		from := now
 		s.cpu.TakeWake()
+		obsFrom, obsFired = now, s.q.Fired()
 		land := target
 		logd("span open now=%d cpuNext=%d", now, cpuNext)
 		for {
-			ea, eok := s.q.NextAt()
-			if !eok || ea >= land {
+			ea, woke := s.q.DrainQuiet(land, drainStop)
+			if !woke {
 				break
-			}
-			s.q.RunUntil(ea)
-			if !s.cpu.TakeWake() {
-				continue // memory-internal: sail through
 			}
 			s.cpu.ApplyQuiet(fx, ea-1-from)
 			from = ea - 1
@@ -150,6 +218,11 @@ func lockstepDeep(t *testing.T, mkCfg func() Config) {
 				break
 			}
 			fx = nfx
+			if sob != nil {
+				obsFired = s.q.Fired()
+				sob.OnEventCycle(ea, obsFired)
+				obsFrom = ea
+			}
 			land = next
 			if land > limit+1 {
 				land = limit + 1
@@ -160,6 +233,47 @@ func lockstepDeep(t *testing.T, mkCfg func() Config) {
 			logd("  wake ea=%d next=%d reopen land=%d", ea, next, land)
 		}
 		s.cpu.ApplyQuiet(fx, land-1-from)
+		if sob != nil {
+			sob.OnCycleSkip(obsFrom, land-1, obsFired)
+		}
+		s.ctrl.ApplyQuiet(land - 1)
 		now = land - 1
+	}
+
+	// A final span may fast-forward right up to the cycle limit, exiting the
+	// loop with the ticked twin still behind: the skipping machine replayed
+	// those cycles in aggregate, so catch the twin up through the same window
+	// (asserting it stays inert there too) before the closing comparison.
+	if now > limit {
+		now = limit
+	}
+	for uNow < now {
+		uNow++
+		u.q.RunUntil(uNow)
+		pre := u.cpu.Fingerprint()
+		u.cpu.Tick(uNow)
+		if uob != nil {
+			uob.OnCycle(uNow, u.q.Fired())
+		}
+		if post := u.cpu.Fingerprint(); post != pre {
+			t.Fatalf("twin acted at final skipped cycle %d\npre:  %s\npost: %s", uNow, pre, post)
+		}
+	}
+	if a, b := s.cpu.Fingerprint(), u.cpu.Fingerprint(); a != b {
+		t.Fatalf("diverged at final cycle %d\nskip: %s\ntick: %s", now, a, b)
+	}
+
+	if observed {
+		// The replayed profile must be indistinguishable from the ticked
+		// twin's: same cycle count, same events-per-cycle distribution.
+		if sc, uc := sob.Prof.Cycles(), uob.Prof.Cycles(); sc != uc {
+			t.Fatalf("profiled cycle counts diverge: skip=%d tick=%d", sc, uc)
+		}
+		if sh, uh := sob.Prof.Hist.String(), uob.Prof.Hist.String(); sh != uh {
+			t.Fatalf("events-per-cycle histograms diverge:\nskip: %s\ntick: %s", sh, uh)
+		}
+		if sob.Prof.Hist.Count() == 0 {
+			t.Fatal("observed lockstep profiled nothing")
+		}
 	}
 }

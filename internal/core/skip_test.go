@@ -133,7 +133,11 @@ func TestSkipEquivalenceObserved(t *testing.T) {
 	export := func(disable bool) (jsonl, chrome, metrics []byte, sk obs.SkipStats) {
 		cfg := fastCfg("mcf", "ammp")
 		cfg.DisableClockSkip = disable
-		ob := obs.New(obs.Options{Trace: true, Metrics: true, MetricsInterval: 500})
+		// Profile:true byte-gates the deep-skip observer replay: the
+		// events-per-cycle histogram lands in the metrics export, so a
+		// sailed-through event cycle that was replayed wrong (or a quiet gap
+		// double-counted at a wake landing) diffs the export below.
+		ob := obs.New(obs.Options{Trace: true, Metrics: true, MetricsInterval: 500, Profile: true})
 		cfg.Observe = func() *obs.Observer { return ob }
 		s, err := NewSimulator(cfg)
 		if err != nil {
@@ -178,6 +182,48 @@ func TestSkipEquivalenceObserved(t *testing.T) {
 	}
 	if noSk.Wall == 0 || noSk.Wall != sk.Wall {
 		t.Fatalf("wall cycles disagree between clock speeds: skip=%d noskip=%d", sk.Wall, noSk.Wall)
+	}
+}
+
+// Attaching an observer must not change how far the two-speed clock reaches:
+// a daemon-style progress observer (no registry, so no sample boundaries)
+// constrains nothing, and the run must skip exactly the same windows it
+// would unobserved — the regression this pins is the old run loop silently
+// dropping every observed run to the slow shallow path. Results stay
+// byte-identical too, via the usual contract.
+func TestSkipStatsUnchangedByObserver(t *testing.T) {
+	run := func(ob *obs.Observer) (Result, obs.SkipStats) {
+		cfg := fastCfg("mcf", "art", "swim", "lucas")
+		if ob != nil {
+			cfg.Observe = func() *obs.Observer { return ob }
+		}
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.SkipStats()
+	}
+	bare, bareSt := run(nil)
+	var ticks int
+	obRes, obSt := run(&obs.Observer{
+		Progress:         func(uint64) { ticks++ },
+		ProgressInterval: 10_000,
+	})
+	if !reflect.DeepEqual(bare, obRes) {
+		t.Fatalf("results diverge with an observer attached:\nbare: %+v\nobs:  %+v", bare, obRes)
+	}
+	if bareSt != obSt {
+		t.Fatalf("skip stats diverge with an observer attached:\nbare: %+v\nobs:  %+v", bareSt, obSt)
+	}
+	if bareSt.Skipped == 0 {
+		t.Fatal("MEM mix skipped no cycles")
+	}
+	if ticks == 0 {
+		t.Fatal("progress observer never fired")
 	}
 }
 

@@ -113,6 +113,16 @@ type uop struct {
 	doneAt     uint64 // pendingDone while a load is in flight
 	issuedAt   uint64
 	dep1, dep2 uint64 // absolute producer sequence numbers (noDep = none)
+
+	// readySeen/readyAt memoize the dependence-readiness bound
+	// max(depReadyAt(dep1), depReadyAt(dep2)) as of the owning thread's
+	// wakeSeq epoch. Producer completion times only ever move earlier, and
+	// every state change that can move a bound (an issue granting a finite
+	// doneAt, a load fill, a squash) bumps wakeSeq, so a cached bound with a
+	// matching epoch is exact: issue's scan and the quiescence probe skip the
+	// two-ROB-slot walk for the common not-yet-ready case.
+	readySeen uint64
+	readyAt   uint64
 }
 
 type feEntry struct {
@@ -145,6 +155,11 @@ type thread struct {
 	iqFP      int
 	lq, sq    int // this thread's LQ/SQ occupancy
 	committed uint64
+
+	// wakeSeq is the readiness-cache epoch: bumped whenever this thread's
+	// dependence-readiness picture can change — an instruction issues with a
+	// finite completion time, a load fill lands. It versions uop.readySeen.
+	wakeSeq uint64
 
 	inFlight []*uop // loads in flight, issue order (for miss classification)
 
@@ -257,6 +272,8 @@ func (f *loadFill) done(at uint64) {
 	v := &t.rob[seq%uint64(len(t.rob))]
 	if v.seq == seq && v.epoch == epoch && v.state == stIssued {
 		v.doneAt = at
+		t.wakeSeq++ // the load's consumers may have become ready
+		c.issueDirty = true
 	}
 }
 
@@ -340,6 +357,16 @@ type CPU struct {
 
 	waiting []*uop // issue-queue contents in dispatch order
 
+	// issueIdleUntil/issueDirty memoize a whole no-op issue scan: after a
+	// scan that issues nothing and parks nothing, every live waiting entry
+	// carries a fresh readiness bound, so the scan's outcome is fixed until
+	// the earliest such bound (issueIdleUntil) arrives, a fill bumps a
+	// thread's wakeSeq, or dispatch adds an entry (both set issueDirty).
+	// Skipped scans have no observable effect: they would issue nothing,
+	// touch no stat, and only defer dropping already-inert entries.
+	issueIdleUntil uint64
+	issueDirty     bool
+
 	rrFetch    int
 	rrDispatch int
 	rrCommit   int
@@ -413,6 +440,9 @@ func New(q *event.Queue, cfg Config, gens []Source, l1i, l1d *cache.Level) (*CPU
 			gen:      g,
 			rob:      make([]uop, cfg.ROBPerThread),
 			curILine: ^uint64(0),
+			// The readiness-cache epoch starts at 1 so a freshly dispatched
+			// uop's zero-value readySeen can never alias a live epoch.
+			wakeSeq: 1,
 		}
 		c.threads = append(c.threads, t)
 	}
@@ -718,6 +748,7 @@ func (c *CPU) dispatchOne(t *thread) bool {
 		t.sq++
 	}
 	c.waiting = append(c.waiting, u)
+	c.issueDirty = true // the new entry may be immediately issuable
 	t.feHead++
 	if t.feHead == len(t.frontend) {
 		t.frontend = t.frontend[:0]
@@ -735,31 +766,18 @@ func depSeq(seq uint64, dist int) uint64 {
 
 // ---------------------------------------------------------------- issue
 
-// ready reports whether producer depSeq of thread t has its result
-// available at cycle now.
-func (t *thread) depReady(depSeq, now uint64) bool {
-	if depSeq == noDep || depSeq < t.headSeq {
-		return true // committed (or no producer)
-	}
-	u := &t.rob[depSeq%uint64(len(t.rob))]
-	if u.seq != depSeq {
-		return true // slot recycled: producer long gone
-	}
-	switch u.state {
-	case stDone:
-		return true
-	case stIssued:
-		return u.doneAt <= now
-	default:
-		return false
-	}
-}
-
 func (c *CPU) issue(now uint64) {
+	if !c.issueDirty && now < c.issueIdleUntil {
+		return // memoized no-op: nothing can become issuable before issueIdleUntil
+	}
 	intLeft, fpLeft := c.cfg.IntIssueWidth, c.cfg.FPIssueWidth
 	aluInt, multInt := c.cfg.IntALU, c.cfg.IntMult
 	aluFP, multFP := c.cfg.FPALU, c.cfg.FPMult
 
+	// idle accumulates the min readiness bound over kept live entries; any
+	// issue or ready-but-blocked park forces it to 0 (scan again next cycle).
+	idle := ^uint64(0)
+	issued := false
 	keep := c.waiting[:0]
 	for _, u := range c.waiting {
 		t := c.threads[u.tid]
@@ -767,18 +785,38 @@ func (c *CPU) issue(now uint64) {
 			continue // squashed (poisoned) or already issued: drop
 		}
 		if intLeft == 0 && fpLeft == 0 {
+			idle = 0 // readiness unknown: budget ran out before the check
 			keep = append(keep, u)
 			continue
 		}
-		if !t.depReady(u.dep1, now) || !t.depReady(u.dep2, now) {
-			keep = append(keep, u)
-			continue
+		if u.readySeen == t.wakeSeq {
+			if u.readyAt > now {
+				if u.readyAt < idle {
+					idle = u.readyAt
+				}
+				keep = append(keep, u)
+				continue
+			}
+		} else {
+			r := t.depReadyAt(u.dep1)
+			if r2 := t.depReadyAt(u.dep2); r2 > r {
+				r = r2
+			}
+			u.readySeen, u.readyAt = t.wakeSeq, r
+			if r > now {
+				if r < idle {
+					idle = r
+				}
+				keep = append(keep, u)
+				continue
+			}
 		}
 		fp := u.in.Kind == workload.FPOp
 		long := u.in.Lat >= 7
 		switch {
 		case fp && long:
 			if fpLeft == 0 || multFP == 0 {
+				idle = 0
 				keep = append(keep, u)
 				continue
 			}
@@ -786,6 +824,7 @@ func (c *CPU) issue(now uint64) {
 			multFP--
 		case fp:
 			if fpLeft == 0 || aluFP == 0 {
+				idle = 0
 				keep = append(keep, u)
 				continue
 			}
@@ -793,6 +832,7 @@ func (c *CPU) issue(now uint64) {
 			aluFP--
 		case long:
 			if intLeft == 0 || multInt == 0 {
+				idle = 0
 				keep = append(keep, u)
 				continue
 			}
@@ -800,6 +840,7 @@ func (c *CPU) issue(now uint64) {
 			multInt--
 		default:
 			if intLeft == 0 || aluInt == 0 {
+				idle = 0
 				keep = append(keep, u)
 				continue
 			}
@@ -809,16 +850,23 @@ func (c *CPU) issue(now uint64) {
 
 		if u.in.Kind == workload.Load {
 			if !c.issueLoad(now, t, u) {
-				// MSHR full: undo the slot and retry next cycle.
+				// MSHR full: undo the slot and retry next cycle. The retry
+				// bumps MSHRFull every cycle, so the memo must stay off.
 				intLeft++
 				aluInt++
+				idle = 0
 				keep = append(keep, u)
 				continue
 			}
+			// A load issues with doneAt still pendingDone: consumers' cached
+			// bounds stay infinite until the fill lands (which bumps wakeSeq),
+			// so the cache epoch need not move here.
 		} else {
 			c.issueALU(now, t, u)
+			t.wakeSeq++ // a finite doneAt appeared: cached bounds are stale
 		}
 		// Issued: leave the issue queue.
+		issued = true
 		c.acted = true
 		if fp {
 			c.fpIQUsed--
@@ -829,6 +877,10 @@ func (c *CPU) issue(now uint64) {
 		}
 	}
 	c.waiting = keep
+	if issued {
+		idle = 0 // widths/units refresh next cycle; kept entries may issue then
+	}
+	c.issueIdleUntil, c.issueDirty = idle, false
 }
 
 func (c *CPU) issueALU(now uint64, t *thread, u *uop) {

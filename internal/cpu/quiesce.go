@@ -127,9 +127,15 @@ func (c *CPU) ProbeQuiet(now uint64) (next uint64, fx QuietFx, quiet bool) {
 			continue // squashed or stale: Tick drops these without effect
 		}
 		t := c.threads[u.tid]
-		r := t.depReadyAt(u.dep1)
-		if r2 := t.depReadyAt(u.dep2); r2 > r {
-			r = r2
+		r := u.readyAt
+		if u.readySeen != t.wakeSeq {
+			// Refreshing the shared readiness memo is state-neutral: issue()
+			// would compute and cache the identical bound.
+			r = t.depReadyAt(u.dep1)
+			if r2 := t.depReadyAt(u.dep2); r2 > r {
+				r = r2
+			}
+			u.readySeen, u.readyAt = t.wakeSeq, r
 		}
 		if r <= now {
 			if u.in.Kind == workload.Load && c.l1d.WouldBlock(u.in.Addr) {
@@ -344,9 +350,12 @@ func (c *CPU) Fingerprint() string {
 }
 
 // depReadyAt reports when producer dep's result becomes available purely by
-// time passing: 0 when it already is (mirroring depReady), the producer's
-// finite completion cycle, or ^uint64(0) when only an event (a load fill)
-// or the producer's own issue — which is landed work — can supply it.
+// time passing: 0 when it already is, the producer's finite completion
+// cycle, or ^uint64(0) when only an event (a load fill) or the producer's
+// own issue — which is itself landed work — can supply it. A uop is
+// issue-eligible at now exactly when max over its deps of this bound is
+// <= now; issue() and the probe share that bound through the uop's
+// readySeen/readyAt memo.
 func (t *thread) depReadyAt(dep uint64) uint64 {
 	if dep == noDep || dep < t.headSeq {
 		return 0 // committed, or no producer

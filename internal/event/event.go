@@ -212,6 +212,49 @@ drained:
 	}
 }
 
+// DrainQuiet fires pending events in whole-cycle batches, strictly below
+// bound, invoking stop(c) after each cycle c's batch has fully drained
+// (including any same- or past-cycle events the callbacks scheduled). It
+// returns (c, true) as soon as stop reports the batch did something the
+// caller must land on, leaving the queue exactly as RunUntil(c) would have —
+// every event at or below c fired, cursor at c+1 — or (0, false) once no
+// pending event remains below bound.
+//
+// This is the two-speed clock's span drain: a quiet span sails through
+// memory-internal event cycles without surfacing to the run loop, paying one
+// next-event scan per batch instead of the scan-plus-RunUntil pair the loop
+// would issue, and stopping at the first batch that delivers CPU-visible
+// state.
+func (q *Queue) DrainQuiet(bound uint64, stop func(at uint64) bool) (at uint64, stopped bool) {
+	for {
+		ra, rok := q.ringNextAt()
+		var c uint64
+		switch {
+		case len(q.far) > 0 && (!rok || q.far[0].at < ra):
+			c = q.far[0].at
+		case rok:
+			c = ra
+		default:
+			return 0, false
+		}
+		if c >= bound {
+			return 0, false
+		}
+		if c < q.base {
+			// Schedule-in-the-past hazard (far heap only): fire it at the
+			// cursor and re-pick, exactly as RunUntil would.
+			q.fire(q.popFar())
+			continue
+		}
+		q.base = c
+		q.drainCycle(c)
+		q.base = c + 1
+		if stop(c) {
+			return c, true
+		}
+	}
+}
+
 // drainCycle fires every event at cycle c (== q.base), merging the ring
 // bucket's FIFO with far-heap entries by seq so global (at, seq) order is
 // preserved. Callbacks may append to either tier mid-drain.

@@ -53,6 +53,8 @@ const dashHTML = `<!doctype html>
     <div class="sub" id="cacheDetail"></div><svg class="spark" id="sparkHit"></svg></div>
   <div class="card"><h2>Served p95</h2><div class="big" id="p95">–</div>
     <div class="sub" id="servedDetail"></div><svg class="spark" id="sparkP95"></svg></div>
+  <div class="card"><h2>Skip rate</h2><div class="big" id="skipRate">–</div>
+    <div class="sub" id="skipDetail"></div><svg class="spark" id="sparkSkip"></svg></div>
   <div class="card"><h2>Jobs</h2>
     <table><tbody id="jobsTable"></tbody></table></div>
   <div class="card"><h2>Go runtime</h2>
@@ -67,7 +69,7 @@ const dashHTML = `<!doctype html>
 </div>
 <script>
 "use strict";
-const hist = { queue: [], busy: [], hit: [], p95: [] };
+const hist = { queue: [], busy: [], hit: [], p95: [], skip: [] };
 const MAXPTS = 120; // two minutes at 1 Hz
 function push(series, v) { series.push(v); if (series.length > MAXPTS) series.shift(); }
 function spark(id, series) {
@@ -97,6 +99,9 @@ function render(st) {
   document.getElementById("p95").textContent = fmt(st.end_to_end.served.p95_ms, 1) + " ms";
   document.getElementById("servedDetail").textContent =
     st.end_to_end.served.count + " served, p99 " + fmt(st.end_to_end.served.p99_ms, 1) + " ms";
+  document.getElementById("skipRate").textContent = fmt(st.skip.rate * 100, 1) + "%";
+  document.getElementById("skipDetail").textContent =
+    st.skip.sim_runs + " runs, " + st.skip.cycles_skipped + " of " + st.skip.cycles_wall + " cycles fast-forwarded";
   document.getElementById("jobsTable").innerHTML = kv([
     ["accepted", st.jobs.accepted], ["completed", st.jobs.completed],
     ["deduped", st.jobs.deduped], ["cached", st.jobs.cached],
@@ -116,8 +121,10 @@ function render(st) {
     phaseRow("cache hit", st.end_to_end.cache);
   push(hist.queue, st.queue.depth); push(hist.busy, st.workers.busy);
   push(hist.hit, st.cache.hit_ratio); push(hist.p95, st.end_to_end.served.p95_ms);
+  push(hist.skip, st.skip.rate);
   spark("sparkQueue", hist.queue); spark("sparkBusy", hist.busy);
   spark("sparkHit", hist.hit); spark("sparkP95", hist.p95);
+  spark("sparkSkip", hist.skip);
 }
 const es = new EventSource("/debug/dash/stream");
 const state = document.getElementById("state");

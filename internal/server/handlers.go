@@ -92,18 +92,25 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobResult serves the raw result bytes — exactly what a CLI
-// `smtdram -json` run with the same configuration prints, byte for byte.
+// `smtdram -json` run with the same configuration prints, byte for byte. The
+// producing run's two-speed-clock summary travels in X-Smtdram-Skip-* headers
+// (absent for figure sweeps), keeping the body byte-identical.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j := s.jobFromPath(w, r)
 	if j == nil {
 		return
 	}
 	j.mu.Lock()
-	state, result, errMsg := j.state, j.result, j.errMsg
+	state, result, errMsg, skip := j.state, j.result, j.errMsg, j.skip
 	j.mu.Unlock()
 	switch state {
 	case StateDone:
 		w.Header().Set("Content-Type", "application/json")
+		if skip != nil {
+			w.Header().Set("X-Smtdram-Skipped-Cycles", fmt.Sprintf("%d", skip.Skipped))
+			w.Header().Set("X-Smtdram-Wall-Cycles", fmt.Sprintf("%d", skip.Wall))
+			w.Header().Set("X-Smtdram-Skiprate", fmt.Sprintf("%.4f", skip.Rate))
+		}
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(result)
 	case StateFailed:

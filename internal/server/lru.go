@@ -16,33 +16,41 @@ type lruCache struct {
 type lruEntry struct {
 	key string
 	val []byte
+	// skip is the producing run's two-speed-clock summary (nil for figure
+	// sweeps and for results cached before skip reporting existed). Cached
+	// answers replay it so a cache hit reports the same skip statistics the
+	// original run did — the payload bytes stay untouched either way.
+	skip *SkipInfo
 }
 
 func newLRU(capacity int) *lruCache {
 	return &lruCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached bytes for key, promoting the entry on a hit. Hit and
-// miss accounting lives in the server's registry counters, not here: the
-// server counts per submission, while a single submission may probe the cache
-// twice (once before and once after admission).
-func (c *lruCache) get(key string) ([]byte, bool) {
+// get returns the cached bytes (and the producing run's skip summary, if any)
+// for key, promoting the entry on a hit. Hit and miss accounting lives in the
+// server's registry counters, not here: the server counts per submission,
+// while a single submission may probe the cache twice (once before and once
+// after admission).
+func (c *lruCache) get(key string) ([]byte, *SkipInfo, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	e := el.Value.(*lruEntry)
+	return e.val, e.skip, true
 }
 
-// add stores key's bytes, evicting the least-recently-used entry when full.
-// Re-adding an existing key refreshes its value and recency.
-func (c *lruCache) add(key string, val []byte) {
+// add stores key's bytes and skip summary, evicting the least-recently-used
+// entry when full. Re-adding an existing key refreshes its value and recency.
+func (c *lruCache) add(key string, val []byte, skip *SkipInfo) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val, e.skip = val, skip
 		c.order.MoveToFront(el)
 		return
 	}
@@ -54,7 +62,7 @@ func (c *lruCache) add(key string, val []byte) {
 		c.order.Remove(tail)
 		delete(c.entries, tail.Value.(*lruEntry).key)
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val, skip: skip})
 }
 
 func (c *lruCache) len() int { return len(c.entries) }

@@ -4,14 +4,14 @@ import "testing"
 
 func TestLRUEvictsOldest(t *testing.T) {
 	c := newLRU(2)
-	c.add("a", []byte("1"))
-	c.add("b", []byte("2"))
-	c.add("c", []byte("3")) // evicts a
-	if _, ok := c.get("a"); ok {
+	c.add("a", []byte("1"), nil)
+	c.add("b", []byte("2"), nil)
+	c.add("c", []byte("3"), nil) // evicts a
+	if _, _, ok := c.get("a"); ok {
 		t.Fatalf("a should have been evicted")
 	}
 	for _, k := range []string{"b", "c"} {
-		if _, ok := c.get(k); !ok {
+		if _, _, ok := c.get(k); !ok {
 			t.Fatalf("%s should still be cached", k)
 		}
 	}
@@ -22,37 +22,52 @@ func TestLRUEvictsOldest(t *testing.T) {
 
 func TestLRUGetPromotes(t *testing.T) {
 	c := newLRU(2)
-	c.add("a", []byte("1"))
-	c.add("b", []byte("2"))
-	if _, ok := c.get("a"); !ok { // a is now most recent
+	c.add("a", []byte("1"), nil)
+	c.add("b", []byte("2"), nil)
+	if _, _, ok := c.get("a"); !ok { // a is now most recent
 		t.Fatalf("a should be cached")
 	}
-	c.add("c", []byte("3")) // evicts b, not a
-	if _, ok := c.get("b"); ok {
+	c.add("c", []byte("3"), nil) // evicts b, not a
+	if _, _, ok := c.get("b"); ok {
 		t.Fatalf("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatalf("a should have survived via promotion")
 	}
 }
 
 func TestLRUUpdateExisting(t *testing.T) {
 	c := newLRU(2)
-	c.add("a", []byte("1"))
-	c.add("a", []byte("2"))
+	c.add("a", []byte("1"), nil)
+	c.add("a", []byte("2"), &SkipInfo{Skipped: 5, Wall: 10, Rate: 0.5})
 	if c.len() != 1 {
 		t.Fatalf("len = %d, want 1 after re-add", c.len())
 	}
-	b, ok := c.get("a")
+	b, sk, ok := c.get("a")
 	if !ok || string(b) != "2" {
 		t.Fatalf("get(a) = %q, %v; want \"2\", true", b, ok)
+	}
+	if sk == nil || sk.Skipped != 5 {
+		t.Fatalf("get(a) skip = %+v; re-add should refresh the skip summary", sk)
+	}
+}
+
+func TestLRUSkipRidesAlong(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", []byte("1"), &SkipInfo{Skipped: 80, Wall: 100, Segments: 3, Longest: 40, Rate: 0.8})
+	_, sk, ok := c.get("a")
+	if !ok || sk == nil {
+		t.Fatalf("cached skip summary went missing: %+v, %v", sk, ok)
+	}
+	if sk.Skipped != 80 || sk.Wall != 100 || sk.Rate != 0.8 {
+		t.Fatalf("cached skip summary mangled: %+v", sk)
 	}
 }
 
 func TestLRUDisabled(t *testing.T) {
 	c := newLRU(-1)
-	c.add("a", []byte("1"))
-	if _, ok := c.get("a"); ok {
+	c.add("a", []byte("1"), nil)
+	if _, _, ok := c.get("a"); ok {
 		t.Fatalf("disabled cache must not store entries")
 	}
 	if c.len() != 0 {

@@ -109,6 +109,36 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// SkipInfo is the wire form of a run's two-speed-clock summary (obs.SkipStats
+// plus the derived rate). It rides beside the result — in JobStatus, in
+// X-Smtdram-Skip-* headers on /result, and in the /v1/stats aggregate — never
+// inside it: the result payload stays byte-identical to the CLI's -json
+// output, which byte-identity gates compare against.
+type SkipInfo struct {
+	// Skipped is the number of cycles fast-forwarded over; Wall is the run's
+	// total wall-clock simulation cycles (warmup included).
+	Skipped uint64 `json:"skipped_cycles"`
+	Wall    uint64 `json:"wall_cycles"`
+	// Segments counts contiguous skip windows; Longest is the largest one.
+	Segments uint64 `json:"segments"`
+	Longest  uint64 `json:"longest"`
+	// Rate is Skipped/Wall.
+	Rate float64 `json:"rate"`
+}
+
+// skipInfoOf converts a run's SkipStats for the wire; nil when the run never
+// engaged the two-speed clock (disabled, or a zero-cycle run).
+func skipInfoOf(st obs.SkipStats) *SkipInfo {
+	if st.Wall == 0 {
+		return nil
+	}
+	return &SkipInfo{
+		Skipped: st.Skipped, Wall: st.Wall,
+		Segments: st.Segments, Longest: st.Longest,
+		Rate: st.Rate(),
+	}
+}
+
 // JobStatus is the wire form of a job.
 type JobStatus struct {
 	ID          string `json:"id"`
@@ -125,6 +155,10 @@ type JobStatus struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	// Progress is the latest streamed progress sample, if any arrived.
 	Progress json.RawMessage `json:"progress,omitempty"`
+	// Skip is the run's two-speed-clock summary, present on done simulation
+	// jobs (cached answers replay the producing run's). Figure sweeps, which
+	// aggregate many runs, omit it.
+	Skip *SkipInfo `json:"skip,omitempty"`
 }
 
 // job is one tracked submission.
@@ -163,6 +197,7 @@ type job struct {
 	result    []byte
 	errMsg    string
 	progress  []byte
+	skip      *SkipInfo // set with result (or pre-publication for cached jobs)
 	subs      []chan []byte
 	slotFreed bool
 }
@@ -176,6 +211,9 @@ func (j *job) status(includeResult bool) JobStatus {
 		ID: j.id, Kind: j.kind, State: j.state, Fingerprint: j.fp,
 		Cached: j.cached, Deduped: j.deduped, Error: j.errMsg,
 		Progress: j.progress,
+	}
+	if j.state == StateDone {
+		st.Skip = j.skip
 	}
 	if includeResult && j.state == StateDone {
 		st.Result = j.result
@@ -207,6 +245,10 @@ type flight struct {
 	span      *obs.Span
 	simStart  time.Time
 	simEvents []obs.Event
+	// skip is the finished run's two-speed-clock summary (simulation flights
+	// only), written by the compute fn under Server.mu before the future
+	// resolves and handed to every rider by awaitFlight.
+	skip *SkipInfo
 }
 
 // Server is the daemon. Build with New, mount Handler, and Drain on
@@ -253,6 +295,12 @@ type Server struct {
 	mFigsRun     *obs.Counter
 	mCacheHits   *obs.Counter
 	mCacheMisses *obs.Counter
+	// Two-speed-clock aggregates across completed simulation runs: how many
+	// runs reported skip statistics, and the summed skipped/wall cycles
+	// (their ratio is the fleet-wide skip rate served by /v1/stats).
+	mSkipRuns      *obs.Counter
+	mCyclesSkipped *obs.Counter
+	mCyclesWall    *obs.Counter
 	// End-to-end latency splits by how the job was answered: served (a real
 	// run, or joining one) vs cache (answered from the LRU). Folding both
 	// into one histogram would poison the percentiles — cache hits are ~0 ms.
@@ -336,6 +384,9 @@ func New(cfg Config) *Server {
 	// post-admission re-check finds a result that landed in between.
 	s.mCacheHits = s.reg.Counter("cache_hits_total")
 	s.mCacheMisses = s.reg.Counter("cache_misses_total")
+	s.mSkipRuns = s.reg.Counter("sim_skip_reports_total")
+	s.mCyclesSkipped = s.reg.Counter("sim_cycles_skipped_total")
+	s.mCyclesWall = s.reg.Counter("sim_cycles_wall_total")
 	return s
 }
 
@@ -494,11 +545,12 @@ func (s *Server) releaseSlot(j *job) {
 // is touched (metricsMu nests outside s.mu — the /metrics render holds it
 // while gauges read s.mu). root/adm are the submission's spans; both end
 // here with the cache-hit outcome.
-func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte, t0 time.Time, root, adm *obs.Span) {
+func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte, sk *SkipInfo, t0 time.Time, root, adm *obs.Span) {
 	j := s.newJobLocked(kind, fp)
 	j.cached = true
 	j.state = StateDone
 	j.result = b
+	j.skip = sk
 	j.span = root
 	root.SetAttr("job", j.id)
 	s.mu.Unlock()
@@ -534,8 +586,8 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 	}
 
 	s.mu.Lock()
-	if b, ok := s.cache.get(fp); ok {
-		s.serveCachedLocked(w, kind, fp, b, t0, root, adm)
+	if b, sk, ok := s.cache.get(fp); ok {
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm)
 		return
 	}
 	s.mu.Unlock()
@@ -563,8 +615,8 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 	// Re-check the cache too: an identical flight may have completed between
 	// the first check and admission, and starting a fresh simulation for bytes
 	// the cache already holds is wasted work.
-	if b, ok := s.cache.get(fp); ok {
-		s.serveCachedLocked(w, kind, fp, b, t0, root, adm)
+	if b, sk, ok := s.cache.get(fp); ok {
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm)
 		<-s.slots // return the admission token; no flight was started
 		return
 	}
@@ -620,8 +672,9 @@ func (s *Server) awaitFlight(fl *flight) {
 	resolved := time.Now()
 
 	s.mu.Lock()
+	skip := fl.skip
 	if err == nil {
-		s.cache.add(fl.fp, val)
+		s.cache.add(fl.fp, val, skip)
 	}
 	if s.flights[fl.fp] == fl {
 		delete(s.flights, fl.fp)
@@ -648,7 +701,7 @@ func (s *Server) awaitFlight(fl *flight) {
 	fl.cancel() // release the context; the run is over
 
 	for _, j := range jobs {
-		s.finishJob(j, val, err, resolved)
+		s.finishJob(j, val, skip, err, resolved)
 	}
 }
 
@@ -657,7 +710,7 @@ func (s *Server) awaitFlight(fl *flight) {
 // records the phase-partitioned latency metrics. resolved is the instant the
 // flight's future resolved — the run→respond phase boundary shared by every
 // rider of the flight.
-func (s *Server) finishJob(j *job, val []byte, err error, resolved time.Time) {
+func (s *Server) finishJob(j *job, val []byte, skip *SkipInfo, err error, resolved time.Time) {
 	respond := j.span.Child("respond")
 	j.mu.Lock()
 	transitioned := false
@@ -669,6 +722,7 @@ func (s *Server) finishJob(j *job, val []byte, err error, resolved time.Time) {
 		} else {
 			j.state = StateDone
 			j.result = val
+			j.skip = skip
 		}
 		for _, ch := range j.subs {
 			close(ch)
@@ -786,11 +840,20 @@ func (s *Server) simFlightFn(fl *flight, cfg core.Config, traced bool) func(cont
 		}
 		simStart := time.Now() // wall-clock instant of cycle 0
 		res, err := sim.RunContext(ctx)
+		// Skip statistics ride beside the result, never inside it: the
+		// payload below stays byte-identical to the CLI's -json output.
+		skip := skipInfoOf(sim.SkipStats())
+		s.mu.Lock()
+		fl.skip = skip
 		if ob.Trace != nil {
-			s.mu.Lock()
 			fl.simStart = simStart
 			fl.simEvents = ob.Trace.Events()
-			s.mu.Unlock()
+		}
+		s.mu.Unlock()
+		if skip != nil {
+			s.mSkipRuns.Inc()
+			s.mCyclesSkipped.Add(skip.Skipped)
+			s.mCyclesWall.Add(skip.Wall)
 		}
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -138,6 +139,76 @@ func TestCacheHitSecondSubmission(t *testing.T) {
 	}
 	if v, err := c.MetricValue(ctx, "smtdram_sims_run_total"); err != nil || v != 1 {
 		t.Fatalf("sims_run_total = %v (%v), want exactly 1 simulation", v, err)
+	}
+}
+
+// TestSkipStatsSurfaced checks every surface the two-speed-clock summary is
+// served on: the done JobStatus, the X-Smtdram-Skip-* headers beside the
+// byte-identical /result body, the /v1/stats aggregate, and a cache-hit
+// answer replaying the producing run's numbers.
+func TestSkipStatsSurfaced(t *testing.T) {
+	srv := server.New(server.Config{Logger: testLogger(t)})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	st, err := c.SubmitSim(ctx, smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.Skip == nil {
+		t.Fatal("done JobStatus carries no skip summary")
+	}
+	if st.Skip.Wall == 0 || st.Skip.Skipped == 0 || st.Skip.Skipped > st.Skip.Wall {
+		t.Fatalf("implausible skip summary: %+v", st.Skip)
+	}
+	if want := float64(st.Skip.Skipped) / float64(st.Skip.Wall); st.Skip.Rate != want {
+		t.Fatalf("skip rate %v != skipped/wall %v", st.Skip.Rate, want)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Smtdram-Skipped-Cycles"); got != fmt.Sprint(st.Skip.Skipped) {
+		t.Fatalf("X-Smtdram-Skipped-Cycles = %q, want %d", got, st.Skip.Skipped)
+	}
+	if got := resp.Header.Get("X-Smtdram-Wall-Cycles"); got != fmt.Sprint(st.Skip.Wall) {
+		t.Fatalf("X-Smtdram-Wall-Cycles = %q, want %d", got, st.Skip.Wall)
+	}
+	if resp.Header.Get("X-Smtdram-Skiprate") == "" {
+		t.Fatal("result response missing X-Smtdram-Skiprate")
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skip.SimRuns != 1 || stats.Skip.CyclesSkipped != st.Skip.Skipped || stats.Skip.CyclesWall != st.Skip.Wall {
+		t.Fatalf("stats skip aggregate %+v does not match the run's %+v", stats.Skip, st.Skip)
+	}
+	if stats.Skip.Rate != st.Skip.Rate {
+		t.Fatalf("stats skip rate %v != run rate %v", stats.Skip.Rate, st.Skip.Rate)
+	}
+
+	// A cache hit must replay the producing run's summary without rerunning.
+	st2, err := c.SubmitSim(ctx, smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.State != server.StateDone {
+		t.Fatalf("second submission: cached=%v state=%s, want cached done", st2.Cached, st2.State)
+	}
+	if st2.Skip == nil || *st2.Skip != *st.Skip {
+		t.Fatalf("cached skip summary %+v differs from the producing run's %+v", st2.Skip, st.Skip)
 	}
 }
 

@@ -86,6 +86,16 @@ type Stats struct {
 		Run       LatencySummary `json:"run"`
 		Respond   LatencySummary `json:"respond"`
 	} `json:"phases"`
+	// Skip aggregates the two-speed clock across every completed simulation
+	// run: summed skipped and wall cycles and their ratio — the fleet-wide
+	// fraction of simulated cycles the daemon fast-forwarded instead of
+	// ticking.
+	Skip struct {
+		SimRuns       uint64  `json:"sim_runs"`
+		CyclesSkipped uint64  `json:"cycles_skipped"`
+		CyclesWall    uint64  `json:"cycles_wall"`
+		Rate          float64 `json:"rate"`
+	} `json:"skip"`
 	PoolWait LatencySummary `json:"pool_wait"`
 	Trace    struct {
 		Spans   int    `json:"spans"`
@@ -114,6 +124,12 @@ func (s *Server) statsSnapshot() Stats {
 	st.Cache.Misses = s.mCacheMisses.Value()
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRatio = float64(st.Cache.Hits) / float64(lookups)
+	}
+	st.Skip.SimRuns = s.mSkipRuns.Value()
+	st.Skip.CyclesSkipped = s.mCyclesSkipped.Value()
+	st.Skip.CyclesWall = s.mCyclesWall.Value()
+	if st.Skip.CyclesWall > 0 {
+		st.Skip.Rate = float64(st.Skip.CyclesSkipped) / float64(st.Skip.CyclesWall)
 	}
 
 	s.mu.Lock()
