@@ -104,8 +104,12 @@ func main() {
 	cfg.Mem.PhysChannels = *channels
 	cfg.Mem.Gang = *gang
 
+	// A malformed -faults spec is a usage error (exit 2), like any other bad
+	// flag value — not a simulation failure.
 	plan, err := faults.Parse(*faultSpec)
-	fatalIf(err)
+	if err != nil {
+		usageErr(err.Error())
+	}
 	cfg.Faults = plan
 	cfg.Mem.Kind, err = core.ParseDRAMKind(*dramKind)
 	fatalIf(err)
@@ -128,6 +132,13 @@ func main() {
 		cfg.Mem.PageMode = dram.ClosePage
 	default:
 		fatalIf(fmt.Errorf("unknown page mode %q", *pagemode))
+	}
+
+	// Every field of cfg came from the command line, so a config that fails
+	// validation (e.g. a fault plan naming a channel the machine lacks) is a
+	// usage error too — caught here, before any simulation work starts.
+	if err := cfg.Validate(); err != nil {
+		usageErr(err.Error())
 	}
 
 	observer := obs.New(obs.Options{

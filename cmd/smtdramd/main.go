@@ -8,6 +8,8 @@
 //
 //	smtdramd                                  # serve on 127.0.0.1:8321
 //	smtdramd -addr :9000 -queue 128 -workers 8
+//	smtdramd -data-dir /var/lib/smtdram       # durable: results + job journal survive kill -9
+//	smtdramd -data-dir d -fsync always        # also survive OS crash / power loss
 //	smtdramd -loadgen -loadgen-requests 200   # benchmark an in-process daemon
 //	smtdramd -loadgen -loadgen-url http://127.0.0.1:8321
 //
@@ -31,6 +33,7 @@ import (
 
 	"smtdram/internal/server"
 	"smtdram/internal/server/client"
+	"smtdram/internal/store"
 )
 
 func main() {
@@ -44,6 +47,10 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-job log lines (warnings and errors still print)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 
+		dataDir  = flag.String("data-dir", "", "directory for the content-addressed result store and write-ahead job journal (empty: memory-only)")
+		fsyncStr = flag.String("fsync", "off", `journal/store fsync policy: "off" (survives kill -9) or "always" (also survives OS crash)`)
+		memOnly  = flag.Bool("mem-only", false, "ignore -data-dir and serve memory-only (results and jobs die with the process)")
+
 		loadgen   = flag.Bool("loadgen", false, "run as a load generator instead of serving, then print a throughput/latency report")
 		lgURL     = flag.String("loadgen-url", "", "daemon base URL for -loadgen (empty: benchmark an in-process daemon)")
 		lgReqs    = flag.Int("loadgen-requests", 100, "total submissions for -loadgen")
@@ -55,6 +62,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smtdramd: unexpected argument %q (all options are flags)\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
+	}
+	fsync, err := store.ParseFsyncPolicy(*fsyncStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtdramd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *memOnly {
+		*dataDir = ""
 	}
 
 	// Structured logging: every lifecycle line carries job/flight correlation
@@ -79,6 +95,8 @@ func main() {
 		CacheEntries:     *cacheN,
 		ProgressInterval: *progress,
 		Logger:           logger,
+		DataDir:          *dataDir,
+		Fsync:            fsync,
 	}
 
 	if *loadgen {

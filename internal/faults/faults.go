@@ -244,7 +244,16 @@ func parseKV(clause, rest string) (*kvSet, error) {
 		if !ok {
 			return nil, fmt.Errorf("faults: %s: %q is not key=value", clause, pair)
 		}
-		kv.m[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+		key := strings.ToLower(strings.TrimSpace(k))
+		if key == "" {
+			return nil, fmt.Errorf("faults: %s: %q has an empty key", clause, pair)
+		}
+		// Reject duplicates instead of silently taking the last value: a spec
+		// like rate=1e-6,rate=1e-3 is almost certainly an editing mistake.
+		if _, dup := kv.m[key]; dup {
+			return nil, fmt.Errorf("faults: %s: duplicate key %q", clause, key)
+		}
+		kv.m[key] = strings.TrimSpace(v)
 	}
 	return kv, nil
 }

@@ -179,3 +179,66 @@ func TestSeedChangesStream(t *testing.T) {
 		t.Fatal("different seeds produced identical fault streams")
 	}
 }
+
+// TestParseEdgeCases covers the spec-grammar corners a hand-typed -faults
+// flag actually hits: stray separators, duplicate keys within a clause,
+// malformed and overflowing numbers, and empty keys.
+func TestParseEdgeCases(t *testing.T) {
+	// Whitespace, empty clauses, and mixed case are tolerated.
+	for _, spec := range []string{
+		";;bitflip:rate=1e-6;;",
+		"  BitFlip : rate=1e-6  ",
+		"bitflip:rate=1e-6;\n drop:rate=1e-7",
+	} {
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q): %v, want success", spec, err)
+		}
+	}
+
+	for _, tc := range []struct {
+		spec, wantSub string
+	}{
+		{"bitflip:rate=1e-6,rate=1e-3", "duplicate key"},
+		{"stuckrow:ch=0,CH=1,row=1", "duplicate key"},
+		{"bitflip:=1e-6", "empty key"},
+		{"drop:rate=", "invalid syntax"},
+		{"drop:rate=1e", "invalid syntax"},
+		{"stuckrow:ch=0,row=-1", "invalid syntax"}, // row is unsigned
+		{"stuckrow:ch=0,row=99999999999999999999", "value out of range"},
+		{"channel-fail:ch=zero,at=1", "invalid syntax"},
+		{"seed:v=-3", "invalid syntax"},
+		{"bitflip:rate=1e-6,seed=1.5", "invalid syntax"},
+	} {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.spec, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// TestValidateRanges pins the range checks the CLI relies on for exit-2 flag
+// validation: channels and rows beyond the machine shape must be rejected.
+func TestValidateRanges(t *testing.T) {
+	if err := (&Plan{Stuck: []StuckRow{{Channel: -1}}}).Validate(4); err == nil {
+		t.Error("negative stuck channel accepted")
+	}
+	if err := (&Plan{Stuck: []StuckRow{{Channel: 0, Chip: -2}}}).Validate(4); err == nil {
+		t.Error("negative chip accepted")
+	}
+	if err := (&Plan{ChannelFail: &ChannelFail{Channel: -1, At: 5}}).Validate(4); err == nil {
+		t.Error("negative failing channel accepted")
+	}
+	if err := (&Plan{ChannelFail: &ChannelFail{Channel: 1, At: 0}}).Validate(4); err == nil {
+		t.Error("channel-fail at cycle 0 accepted")
+	}
+	if err := (&Plan{BitFlipRate: -0.1}).Validate(4); err == nil {
+		t.Error("negative bitflip rate accepted")
+	}
+	if err := (&Plan{DropRate: 1.1}).Validate(4); err == nil {
+		t.Error("drop rate above 1 accepted")
+	}
+}

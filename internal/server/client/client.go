@@ -160,6 +160,35 @@ func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
 	return st, err
 }
 
+// Healthz probes /healthz liveness: nil means the process is serving HTTP.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz fetches the /readyz readiness report. Unlike the other calls, a 503
+// is not an error here: readiness is the report's Ready field, and the
+// reasons for unreadiness travel in the body either way.
+func (c *Client) Readyz(ctx context.Context) (server.Readiness, error) {
+	var rep server.Readiness
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return rep, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return rep, &APIError{Code: resp.StatusCode, Msg: errorBody(raw)}
+	}
+	return rep, json.Unmarshal(raw, &rep)
+}
+
 // Cancel aborts a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
 	var st server.JobStatus

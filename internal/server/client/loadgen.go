@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -153,7 +154,9 @@ func (c *Client) LoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport,
 }
 
 // submitWithBackoff retries 429s after the server's Retry-After; any other
-// error is final.
+// error is final. The sleep is jittered across [After/2, 1.5·After) so a
+// burst of rejected clients fans back out instead of re-arriving as the same
+// synchronized thundering herd that just overflowed the queue.
 func (c *Client) submitWithBackoff(ctx context.Context, req server.SimRequest, mu *sync.Mutex, rejections *int) (server.JobStatus, error) {
 	for {
 		st, err := c.SubmitSim(ctx, req)
@@ -165,11 +168,19 @@ func (c *Client) submitWithBackoff(ctx context.Context, req server.SimRequest, m
 		*rejections++
 		mu.Unlock()
 		select {
-		case <-time.After(retry.After):
+		case <-time.After(jitter(retry.After)):
 		case <-ctx.Done():
 			return st, ctx.Err()
 		}
 	}
+}
+
+// jitter spreads d uniformly over [d/2, 3d/2).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 func snapshotCounters(ctx context.Context, c *Client) map[string]float64 {

@@ -55,6 +55,8 @@ const dashHTML = `<!doctype html>
     <div class="sub" id="servedDetail"></div><svg class="spark" id="sparkP95"></svg></div>
   <div class="card"><h2>Skip rate</h2><div class="big" id="skipRate">–</div>
     <div class="sub" id="skipDetail"></div><svg class="spark" id="sparkSkip"></svg></div>
+  <div class="card"><h2>Durable store</h2><div class="big" id="storeState">–</div>
+    <div class="sub" id="storeDetail"></div></div>
   <div class="card"><h2>Jobs</h2>
     <table><tbody id="jobsTable"></tbody></table></div>
   <div class="card"><h2>Go runtime</h2>
@@ -102,6 +104,14 @@ function render(st) {
   document.getElementById("skipRate").textContent = fmt(st.skip.rate * 100, 1) + "%";
   document.getElementById("skipDetail").textContent =
     st.skip.sim_runs + " runs, " + st.skip.cycles_skipped + " of " + st.skip.cycles_wall + " cycles fast-forwarded";
+  const sst = st.store, rec = st.recovery;
+  document.getElementById("storeState").textContent =
+    !sst.configured ? "memory-only" : (sst.degraded ? "DEGRADED" : sst.entries + " entries");
+  document.getElementById("storeDetail").textContent = sst.configured
+    ? sst.hits + " hits / " + sst.misses + " misses / " + sst.corrupt + " corrupt · " +
+      sst.journal_records + " journaled · recovery " + rec.rehydrated + " rehydrated, " +
+      rec.reenqueued + " re-enqueued" + (rec.outstanding ? " (" + rec.outstanding + " running)" : "")
+    : "start with -data-dir for crash durability";
   document.getElementById("jobsTable").innerHTML = kv([
     ["accepted", st.jobs.accepted], ["completed", st.jobs.completed],
     ["deduped", st.jobs.deduped], ["cached", st.jobs.cached],

@@ -1,0 +1,283 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"smtdram/internal/core"
+	"smtdram/internal/server"
+	"smtdram/internal/store"
+)
+
+// directRunBytes computes what `smtdram -json` would print for req — the
+// byte-identity oracle for everything the durable path serves.
+func directRunBytes(t *testing.T, req server.SimRequest) []byte {
+	t.Helper()
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRestartRehydratesDoneJob: a finished job survives a restart — its id
+// still answers, its result bytes are identical, and a fresh submission of
+// the same configuration is served from the disk tier without recomputing.
+func TestRestartRehydratesDoneJob(t *testing.T) {
+	dir := t.TempDir()
+	req := smallSim()
+	want := directRunBytes(t, req)
+	ctx := context.Background()
+
+	srv1, c1 := newTestDaemon(t, server.Config{DataDir: dir, Logger: testLogger(t)})
+	st, err := c1.SubmitSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c1.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	srv1.Close()
+
+	// Second daemon, same data dir, empty LRU and job table.
+	_, c2 := newTestDaemon(t, server.Config{DataDir: dir, Logger: testLogger(t)})
+
+	// The old job id was rehydrated from the journal + store.
+	got, err := c2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("recovered job %s: %v", st.ID, err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("rehydrated result differs from direct run:\n got %s\nwant %s", got, want)
+	}
+
+	// A fresh submission of the same configuration hits the disk tier: it is
+	// answered synchronously as cached, with the same bytes, and the id is a
+	// new one (the recovered id space is preserved, not reused).
+	st2, err := c2.SubmitSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatalf("resubmission after restart: cached = false, want true (state %s)", st2.State)
+	}
+	if st2.ID == st.ID {
+		t.Fatalf("fresh submission reused recovered id %s", st.ID)
+	}
+	got2, err := c2.Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(want) {
+		t.Fatalf("disk-tier result differs from direct run:\n got %s\nwant %s", got2, want)
+	}
+
+	stats, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Hits == 0 {
+		t.Fatalf("store hits = 0 after rehydration + disk-tier serve; stats = %+v", stats.Store)
+	}
+	if stats.Recovery.Rehydrated == 0 {
+		t.Fatalf("recovery rehydrated = 0, want >= 1")
+	}
+	if !stats.Store.Configured || stats.Store.Degraded {
+		t.Fatalf("store health = %+v, want configured and not degraded", stats.Store.StoreHealth)
+	}
+}
+
+// TestRecoveryReenqueuesInterruptedJob: a journal holding only a submitted
+// record (the daemon died before the run finished) re-runs the job at startup
+// under its original id, and the result is byte-identical to a direct run.
+func TestRecoveryReenqueuesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	req := smallSim()
+	want := directRunBytes(t, req)
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-write the crashed daemon's journal: job j-7 accepted, never
+	// resolved.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	jp := filepath.Join(dir, "journal.wal")
+	jn, err := store.OpenJournal(jp, store.FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.Record{
+		Type: store.RecSubmitted, Job: "j-7", Kind: "sim",
+		FP: "sim|" + cfg.Fingerprint(), Request: reqJSON,
+	}
+	if err := jn.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestDaemon(t, server.Config{DataDir: dir, Logger: testLogger(t)})
+	ctx := context.Background()
+
+	st, err := c.Wait(ctx, "j-7", 0)
+	if err != nil {
+		t.Fatalf("recovered job j-7: %v", err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("recovered job state = %s (%s), want done", st.State, st.Error)
+	}
+	got, err := c.Result(ctx, "j-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("re-run result differs from direct run:\n got %s\nwant %s", got, want)
+	}
+
+	// Once the re-run finishes, recovery is complete and the daemon is ready.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err := c.Readyz(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready; reasons = %v", rep.Reasons)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fresh ids must not collide with the recovered id space.
+	st2, err := c.SubmitSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == "j-7" {
+		t.Fatalf("fresh submission reused recovered id j-7")
+	}
+}
+
+// TestReadyzSplitsFromHealthz: /healthz stays 200 in states where /readyz
+// reports 503 — here, a data dir that cannot be opened (a regular file in
+// the way) degrades the store to memory-only and flips readiness only.
+func TestReadyzSplitsFromHealthz(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestDaemon(t, server.Config{DataDir: blocked, Logger: testLogger(t)})
+	ctx := context.Background()
+
+	rep, err := c.Readyz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ready {
+		t.Fatalf("readyz reports ready with an unopenable data dir")
+	}
+	if !rep.Store.Configured || !rep.Store.Degraded {
+		t.Fatalf("store health = %+v, want configured and degraded", rep.Store)
+	}
+
+	// Liveness is unaffected: serving still works, memory-only.
+	st, err := c.SubmitSim(ctx, smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("memory-only job state = %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestReadyzReportsDraining: Drain flips readiness off while liveness stays
+// up, so a load balancer pulls the instance before shutdown.
+func TestReadyzReportsDraining(t *testing.T) {
+	srv, c := newTestDaemon(t, server.Config{Logger: testLogger(t)})
+	ctx := context.Background()
+
+	rep, err := c.Readyz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ready {
+		t.Fatalf("fresh idle daemon unready; reasons = %v", rep.Reasons)
+	}
+
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = c.Readyz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ready {
+		t.Fatalf("readyz reports ready while draining")
+	}
+}
+
+// TestRestartCompactsJournal: after a clean lifecycle (submit, finish,
+// restart), the rotated journal holds exactly one record per live job — no
+// unbounded growth across restarts.
+func TestRestartCompactsJournal(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1, c1 := newTestDaemon(t, server.Config{DataDir: dir, Logger: testLogger(t)})
+	st, err := c1.SubmitSim(ctx, smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c1.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	srv1.Close()
+
+	// First restart compacts submitted+started+resolved down to one record.
+	srv2, _ := newTestDaemon(t, server.Config{DataDir: dir, Logger: testLogger(t)})
+	srv2.Close()
+
+	recs, err := store.ReadJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perJob := map[string]int{}
+	for _, r := range recs {
+		perJob[r.Job]++
+	}
+	if n := perJob[st.ID]; n != 1 {
+		t.Fatalf("compacted journal has %d records for %s, want 1 (journal: %+v)", n, st.ID, recs)
+	}
+}

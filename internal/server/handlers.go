@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"smtdram/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; configurations are tiny.
@@ -50,7 +52,8 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		// traced submission must reach a real run to collect cycle events.
 		fp += "|traced"
 	}
-	s.submit(w, "sim", fp, func(fl *flight) func(context.Context) (json.RawMessage, error) {
+	reqJSON, _ := json.Marshal(req) // canonical form for the write-ahead journal
+	s.submit(w, "sim", fp, reqJSON, func(fl *flight) func(context.Context) (json.RawMessage, error) {
 		return s.simFlightFn(fl, cfg, req.Trace)
 	})
 }
@@ -65,7 +68,8 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.submit(w, "figure", "fig|"+req.key(), func(fl *flight) func(context.Context) (json.RawMessage, error) {
+	reqJSON, _ := json.Marshal(req)
+	s.submit(w, "figure", "fig|"+req.key(), reqJSON, func(fl *flight) func(context.Context) (json.RawMessage, error) {
 		return s.figFlightFn(fl, req)
 	})
 }
@@ -161,6 +165,7 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	if !already {
 		s.releaseSlot(j)
 		s.count(s.mCancelled)
+		s.journalAppend(store.Record{Type: store.RecCancelled, Job: j.id, Kind: j.kind, FP: j.fp})
 		j.span.SetAttr("state", string(StateCancelled))
 		j.span.End()
 		s.log.Info("job cancelled", "job", j.id, "flight", j.flightID,
@@ -254,16 +259,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WritePrometheus(w, "smtdram", uint64(time.Since(s.startedAt)/time.Second))
 }
 
+// handleHealthz is pure liveness: 200 whenever the process can serve HTTP at
+// all — during drain, during recovery, in store-degraded mode. Orchestrators
+// restart on liveness failure; everything condition-shaped lives in /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	tracked := len(s.jobs)
-	inflight := len(s.flights)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
-		Status   string `json:"status"`
-		Draining bool   `json:"draining"`
-		Jobs     int    `json:"jobs_tracked"`
-		Flights  int    `json:"flights_inflight"`
-		Queue    int    `json:"queue_depth"`
-	}{Status: "ok", Draining: s.draining.Load(), Jobs: tracked, Flights: inflight, Queue: len(s.slots)})
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{Status: "ok", UptimeSeconds: time.Since(s.startedAt).Seconds()})
+}
+
+// handleReadyz is readiness: 503 (with the reasons) while draining, while
+// journal recovery is still re-running interrupted jobs, or while the
+// durable store has degraded to memory-only mode — states where a load
+// balancer should route elsewhere even though the process is alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rep := s.readiness()
+	code := http.StatusOK
+	if !rep.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rep)
 }

@@ -25,7 +25,8 @@
 //	GET    /v1/jobs/{id}/trace Chrome trace_event JSON for one job (wall + cycle domains)
 //	GET    /v1/stats           JSON stats snapshot (per-phase latency percentiles)
 //	GET    /metrics            Prometheus text exposition
-//	GET    /healthz            liveness + drain state
+//	GET    /healthz            pure liveness (200 whenever the process serves)
+//	GET    /readyz             readiness: 503 during drain, journal recovery, or store-degraded mode
 //	GET    /debug/trace        Chrome trace_event JSON of the whole span buffer
 //	GET    /debug/dash         live HTML dashboard (SSE-fed)
 package server
@@ -45,6 +46,7 @@ import (
 	"smtdram/internal/core"
 	"smtdram/internal/obs"
 	"smtdram/internal/runner"
+	"smtdram/internal/store"
 )
 
 // Config tunes the daemon.
@@ -72,6 +74,16 @@ type Config struct {
 	// Logger receives structured lifecycle logs with job/flight correlation
 	// keys. Nil discards all logging.
 	Logger *slog.Logger
+	// DataDir enables the durability layer: a content-addressed on-disk
+	// result store and a write-ahead job journal live under it, and startup
+	// replays the journal to recover jobs interrupted by a crash. Empty
+	// keeps the daemon memory-only.
+	DataDir string
+	// Fsync is the store/journal flush policy. The default (off) is durable
+	// against process death — SIGKILL included — because writes have crossed
+	// into the kernel; FsyncAlways additionally survives OS crash and power
+	// loss.
+	Fsync store.FsyncPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -265,6 +277,16 @@ type Server struct {
 	cache     *lruCache
 	startedAt time.Time
 
+	// Durability layer (durable.go). store/journal are nil when DataDir is
+	// empty or opening failed; storeWanted distinguishes "memory-only by
+	// choice" from "degraded". recovered and the recN counts are written
+	// once during New's journal recovery, before the handler is reachable.
+	store                                     *store.Store
+	journal                                   *store.Journal
+	storeWanted                               bool
+	recovered                                 []*job
+	recReplayed, recRehydrated, recReenqueued int
+
 	slots      chan struct{} // admission tokens: queued + running jobs
 	wg         sync.WaitGroup
 	baseCtx    context.Context
@@ -301,6 +323,14 @@ type Server struct {
 	mSkipRuns      *obs.Counter
 	mCyclesSkipped *obs.Counter
 	mCyclesWall    *obs.Counter
+	// Disk-tier counters: store lookups (a corrupt entry counts both corrupt
+	// and miss), write-through failures, and journal appends.
+	mStoreHits        *obs.Counter
+	mStoreMisses      *obs.Counter
+	mStoreCorrupt     *obs.Counter
+	mStoreWriteErrors *obs.Counter
+	mJournalRecords   *obs.Counter
+	mJournalErrors    *obs.Counter
 	// End-to-end latency splits by how the job was answered: served (a real
 	// run, or joining one) vs cache (answered from the LRU). Folding both
 	// into one histogram would poison the percentiles — cache hits are ~0 ms.
@@ -387,6 +417,28 @@ func New(cfg Config) *Server {
 	s.mSkipRuns = s.reg.Counter("sim_skip_reports_total")
 	s.mCyclesSkipped = s.reg.Counter("sim_cycles_skipped_total")
 	s.mCyclesWall = s.reg.Counter("sim_cycles_wall_total")
+	s.mStoreHits = s.reg.Counter("store_hits_total")
+	s.mStoreMisses = s.reg.Counter("store_misses_total")
+	s.mStoreCorrupt = s.reg.Counter("store_corrupt_total")
+	s.mStoreWriteErrors = s.reg.Counter("store_write_errors_total")
+	s.mJournalRecords = s.reg.Counter("journal_records_total")
+	s.mJournalErrors = s.reg.Counter("journal_errors_total")
+	s.reg.Gauge("store_entries", func(uint64) float64 {
+		if s.store == nil {
+			return 0
+		}
+		return float64(s.store.Len())
+	})
+	s.reg.Gauge("store_degraded", func(uint64) float64 {
+		if s.durabilityDegraded() {
+			return 1
+		}
+		return 0
+	})
+	s.reg.Gauge("recovery_outstanding", func(uint64) float64 { return float64(s.recoveryOutstanding()) })
+	// Open the disk tier and replay the journal last: recovery re-enqueues
+	// interrupted jobs through the flight machinery built above.
+	s.openDurable()
 	return s
 }
 
@@ -435,6 +487,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("GET /debug/dash", s.handleDash)
 	mux.HandleFunc("GET /debug/dash/stream", s.handleDashStream)
@@ -483,8 +536,15 @@ func (s *Server) Close() {
 
 // newJobLocked allocates and registers a job; the caller holds s.mu.
 func (s *Server) newJobLocked(kind, fp string) *job {
+	return s.registerJobLocked(fmt.Sprintf("j-%d", s.nextID.Add(1)), kind, fp)
+}
+
+// registerJobLocked registers a job under an explicit id — fresh ids from
+// newJobLocked, or original ids preserved across a crash by journal
+// recovery. The caller holds s.mu.
+func (s *Server) registerJobLocked(id, kind, fp string) *job {
 	j := &job{
-		id:      fmt.Sprintf("j-%d", s.nextID.Add(1)),
+		id:      id,
 		kind:    kind,
 		fp:      fp,
 		created: time.Now(),
@@ -566,10 +626,28 @@ func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []b
 	writeJSON(w, http.StatusOK, j.status(true))
 }
 
-// submit runs the common submission path: answer from cache, join an
-// in-flight twin, or start a new flight computing fn. Every outcome — even a
-// rejection — leaves a span tree in the serving trace.
-func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
+// flightForLocked finds fp's in-flight computation or starts a new one
+// running fn. The caller holds s.mu; created reports whether a new flight
+// (and its awaitFlight waiter) was launched.
+func (s *Server) flightForLocked(fp string, root *obs.Span, fn func(*flight) func(context.Context) (json.RawMessage, error)) (fl *flight, created bool) {
+	if fl = s.flights[fp]; fl != nil {
+		return fl, false
+	}
+	fl = &flight{id: fmt.Sprintf("f-%d", s.nextFlight.Add(1)), fp: fp, rootSpan: root}
+	fl.ctx, fl.cancel = context.WithCancel(s.baseCtx)
+	fl.fut, _ = s.memo.GetCtx(s.pool, fl.ctx, fp, fn(fl))
+	s.flights[fp] = fl
+	s.wg.Add(1)
+	go s.awaitFlight(fl)
+	return fl, true
+}
+
+// submit runs the common submission path: answer from the LRU or the disk
+// store, join an in-flight twin, or start a new flight computing fn. reqJSON
+// is the original wire request, journaled write-ahead so a crashed daemon
+// can re-run the job. Every outcome — even a rejection — leaves a span tree
+// in the serving trace.
+func (s *Server) submit(w http.ResponseWriter, kind, fp string, reqJSON []byte, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
 	t0 := time.Now()
 	root := s.spans.Start("job", obs.A("kind", kind), obs.A("fp", fp))
 	adm := root.Child("admission")
@@ -591,6 +669,15 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 		return
 	}
 	s.mu.Unlock()
+	// Disk tier: an LRU miss falls back to the content-addressed store (IO
+	// outside s.mu) before computing. A hit is promoted into the LRU, so the
+	// ladder is LRU → disk → compute.
+	if b, sk, ok := s.storeGet(fp); ok {
+		s.mu.Lock()
+		s.cache.add(fp, b, sk)
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm)
+		return
+	}
 	s.count(s.mCacheMisses)
 
 	if !s.admit() {
@@ -620,16 +707,8 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 		<-s.slots // return the admission token; no flight was started
 		return
 	}
-	fl := s.flights[fp]
-	deduped := fl != nil
-	if fl == nil {
-		fl = &flight{id: fmt.Sprintf("f-%d", s.nextFlight.Add(1)), fp: fp, rootSpan: root}
-		fl.ctx, fl.cancel = context.WithCancel(s.baseCtx)
-		fl.fut, _ = s.memo.GetCtx(s.pool, fl.ctx, fp, fn(fl))
-		s.flights[fp] = fl
-		s.wg.Add(1)
-		go s.awaitFlight(fl)
-	}
+	fl, created := s.flightForLocked(fp, root, fn)
+	deduped := !created
 	j := s.newJobLocked(kind, fp)
 	j.created = t0 // anchor phase accounting at submit entry, not allocation
 	j.deduped = deduped
@@ -660,6 +739,10 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, fn func(*flight)
 	if deduped {
 		s.count(s.mDeduped)
 	}
+	// Write-ahead: the submitted record (with the full request) is on disk
+	// before the client hears "accepted", so an acknowledged job survives a
+	// crash at any later point.
+	s.journalAppend(store.Record{Type: store.RecSubmitted, Job: j.id, Kind: kind, FP: fp, Request: reqJSON})
 	s.log.Info("job accepted", "job", j.id, "kind", kind, "fp", fp, "flight", fl.id, "deduped", deduped)
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
@@ -700,6 +783,13 @@ func (s *Server) awaitFlight(fl *flight) {
 	s.mu.Unlock()
 	fl.cancel() // release the context; the run is over
 
+	// Write the result through to the disk tier before any job resolves:
+	// once a resolved record hits the journal, the bytes it promises are
+	// already durable (write-ahead ordering).
+	if err == nil {
+		s.storePut(fl.fp, val, skip)
+	}
+
 	for _, j := range jobs {
 		s.finishJob(j, val, skip, err, resolved)
 	}
@@ -729,7 +819,7 @@ func (s *Server) finishJob(j *job, val []byte, skip *SkipInfo, err error, resolv
 		}
 		j.subs = nil
 	}
-	state := j.state
+	state, errMsg := j.state, j.errMsg
 	tAdmitted, tRunStart := j.tAdmitted, j.tRunStart
 	j.mu.Unlock()
 
@@ -740,6 +830,7 @@ func (s *Server) finishJob(j *job, val []byte, skip *SkipInfo, err error, resolv
 	done := time.Now()
 	dur := done.Sub(j.created)
 	if transitioned {
+		s.journalAppend(store.Record{Type: store.RecResolved, Job: j.id, Kind: j.kind, FP: j.fp, State: string(state), Error: errMsg})
 		if state == StateFailed {
 			s.count(s.mFailed)
 			s.log.Warn("job failed", "job", j.id, "flight", j.flightID, "dur", dur.Truncate(time.Millisecond), "err", err)
@@ -782,6 +873,7 @@ func (s *Server) markRunning(fl *flight) *obs.Span {
 		j.queueSpan = nil
 		j.mu.Unlock()
 		qs.End()
+		s.journalAppend(store.Record{Type: store.RecStarted, Job: j.id})
 	}
 	return run
 }

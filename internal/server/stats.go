@@ -67,7 +67,22 @@ type Stats struct {
 		Misses   uint64  `json:"misses"`
 		HitRatio float64 `json:"hit_ratio"`
 	} `json:"cache"`
-	Runtime struct {
+	// Store is the disk tier of the cache ladder (LRU → disk → compute):
+	// content-addressed results that survive restarts. Degraded means an IO
+	// error flipped the daemon to memory-only serving.
+	Store struct {
+		StoreHealth
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		Corrupt     uint64 `json:"corrupt"`
+		WriteErrors uint64 `json:"write_errors"`
+		// JournalRecords counts write-ahead records appended this process.
+		JournalRecords uint64 `json:"journal_records"`
+	} `json:"store"`
+	// Recovery reports the startup journal replay: jobs rehydrated from the
+	// store and jobs re-enqueued (outstanding until their re-run finishes).
+	Recovery RecoveryStatus `json:"recovery"`
+	Runtime  struct {
 		Goroutines          int     `json:"goroutines"`
 		HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
 		GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
@@ -125,6 +140,13 @@ func (s *Server) statsSnapshot() Stats {
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRatio = float64(st.Cache.Hits) / float64(lookups)
 	}
+	st.Store.StoreHealth = s.storeHealth()
+	st.Store.Hits = s.mStoreHits.Value()
+	st.Store.Misses = s.mStoreMisses.Value()
+	st.Store.Corrupt = s.mStoreCorrupt.Value()
+	st.Store.WriteErrors = s.mStoreWriteErrors.Value()
+	st.Store.JournalRecords = s.mJournalRecords.Value()
+	st.Recovery = s.recoveryStatus()
 	st.Skip.SimRuns = s.mSkipRuns.Value()
 	st.Skip.CyclesSkipped = s.mCyclesSkipped.Value()
 	st.Skip.CyclesWall = s.mCyclesWall.Value()

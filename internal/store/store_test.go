@@ -1,0 +1,231 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "sim|apps=mcf seed=42 fetch=dwarn"
+	payload := []byte(`{"ipc":1.23}`)
+	meta := []byte(`{"skip":{"rate":0.8}}`)
+	if err := s.Put(key, payload, meta); err != nil {
+		t.Fatal(err)
+	}
+	gotP, gotM, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotP, payload) || !bytes.Equal(gotM, meta) {
+		t.Fatalf("round trip mismatch: payload %q meta %q", gotP, gotM)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, err := Open(t.TempDir(), FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReopenCountsEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, []byte(k), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("reopened Len = %d, want 3", s2.Len())
+	}
+	if p, _, err := s2.Get("b"); err != nil || string(p) != "b" {
+		t.Fatalf("reopened Get(b) = %q, %v", p, err)
+	}
+}
+
+func TestPutOverwriteKeepsCount(t *testing.T) {
+	s, err := Open(t.TempDir(), FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("one"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("two"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+	p, _, err := s.Get("k")
+	if err != nil || string(p) != "two" {
+		t.Fatalf("Get = %q, %v; want two", p, err)
+	}
+}
+
+// corrupt entries are quarantined on read and reported as *CorruptError.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("payload"), nil); err != nil {
+		t.Fatal(err)
+	}
+	path := s.pathFor("k")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff // flip a bit mid-entry
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = s.Get("k")
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Get(corrupt) = %v, want *CorruptError", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still present in data dir")
+	}
+	q := filepath.Join(dir, "quarantine", filepath.Base(path))
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after quarantine, want 0", s.Len())
+	}
+	// A rewrite heals the entry.
+	if err := s.Put("k", []byte("payload"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, err := s.Get("k"); err != nil || string(p) != "payload" {
+		t.Fatalf("healed Get = %q, %v", p, err)
+	}
+}
+
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", bytes.Repeat([]byte("x"), 4096), nil); err != nil {
+		t.Fatal(err)
+	}
+	path := s.pathFor("k")
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, _, err := s.Get("k"); !errors.As(err, &ce) {
+		t.Fatalf("Get(truncated) = %v, want *CorruptError", err)
+	}
+}
+
+// A write failure degrades the store to memory-only mode, stickily.
+func TestWriteErrorDegrades(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("before", []byte("ok"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory out from under the store: CreateTemp fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v"), nil); err == nil {
+		t.Fatal("Put into removed dir succeeded")
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded after write error")
+	}
+	if err := s.Put("k2", []byte("v"), nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Put while degraded = %v, want ErrDegraded", err)
+	}
+}
+
+// Open removes torn temp files left by a crashed write.
+func TestOpenCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, FsyncOff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"123")); !os.IsNotExist(err) {
+		t.Fatal("torn temp file survived Open")
+	}
+}
+
+func TestKeysWithArbitraryCharacters(t *testing.T) {
+	s, err := Open(t.TempDir(), FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"sim|apps=mcf,ammp channels=2 gang=1|traced",
+		"fig=table2 warm=0 target=0 seed=0",
+		"weird/../key with spaces\nand newlines",
+		strings.Repeat("long", 1000),
+	}
+	for i, k := range keys {
+		if err := s.Put(k, []byte{byte(i)}, nil); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		p, _, err := s.Get(k)
+		if err != nil || len(p) != 1 || p[0] != byte(i) {
+			t.Fatalf("Get(%q) = %v, %v", k, p, err)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"": FsyncOff, "off": FsyncOff, "OFF": FsyncOff,
+		"always": FsyncAlways, "Always": FsyncAlways,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy(sometimes) succeeded")
+	}
+}
