@@ -21,11 +21,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smtdram/internal/checkpoint"
 	"smtdram/internal/core"
 	"smtdram/internal/faults"
 	"smtdram/internal/figures"
 	"smtdram/internal/obs"
 	"smtdram/internal/report"
+	"smtdram/internal/store"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-run progress")
 
 		faultSpec = flag.String("faults", "", "inject faults into every simulation (same spec as smtdram -faults); figure output then reflects the degraded machine")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "persist warmup checkpoints under this directory and fork warm re-runs from them (figure output stays byte-identical)")
 
 		traceDir   = flag.String("trace", "", "write one Chrome trace_event JSON per simulation run into this directory")
 		metricsOut = flag.String("metrics", "", "append every run's metrics to this file (JSON lines, runs separated by meta records)")
@@ -110,6 +114,26 @@ func main() {
 	if *verbose {
 		opts.Out = os.Stderr
 	}
+
+	// One checkpoint cache spans every figure of this invocation, so a warmup
+	// prefix shared between figures (the reference machine appears in most of
+	// them) simulates once. -checkpoint-dir extends the reuse across
+	// invocations; stdout is byte-identical either way, and the summary goes
+	// to stderr so warm and cold runs still diff clean.
+	opts.Checkpoints = checkpoint.New()
+	if *checkpointDir != "" {
+		c, err := checkpoint.Open(*checkpointDir, store.FsyncOff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.Checkpoints = c
+	}
+	defer func() {
+		s := opts.Checkpoints.Snapshot()
+		fmt.Fprintf(os.Stderr, "checkpoints: hits=%d misses=%d forks=%d bypassed=%d evictions=%d entries=%d\n",
+			s.Hits, s.Misses, s.Forks, s.Bypassed, s.Evictions, s.Entries)
+	}()
 	plan, err := faults.Parse(*faultSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -50,6 +50,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "directory for the content-addressed result store and write-ahead job journal (empty: memory-only)")
 		fsyncStr = flag.String("fsync", "off", `journal/store fsync policy: "off" (survives kill -9) or "always" (also survives OS crash)`)
 		memOnly  = flag.Bool("mem-only", false, "ignore -data-dir and serve memory-only (results and jobs die with the process)")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist warmup checkpoints under this directory so figure sweeps fork warm re-runs across restarts (empty: in-memory memoization only)")
 
 		loadgen   = flag.Bool("loadgen", false, "run as a load generator instead of serving, then print a throughput/latency report")
 		lgURL     = flag.String("loadgen-url", "", "daemon base URL for -loadgen (empty: benchmark an in-process daemon)")
@@ -71,6 +72,7 @@ func main() {
 	}
 	if *memOnly {
 		*dataDir = ""
+		*ckptDir = ""
 	}
 
 	// Structured logging: every lifecycle line carries job/flight correlation
@@ -97,6 +99,7 @@ func main() {
 		Logger:           logger,
 		DataDir:          *dataDir,
 		Fsync:            fsync,
+		CheckpointDir:    *ckptDir,
 	}
 
 	if *loadgen {

@@ -3,6 +3,7 @@ package cache
 import (
 	"smtdram/internal/event"
 	"smtdram/internal/mem"
+	"smtdram/internal/snap"
 )
 
 // MemBackend terminates the cache hierarchy at a DRAM memory controller,
@@ -25,6 +26,10 @@ type MemBackend struct {
 	// back (OnComplete) strictly after its last read of it, so a completed
 	// request can be reissued immediately.
 	freeReqs []*pooledReq
+
+	// restoreReqs memoizes in-flight request wrappers by ID while a snapshot
+	// restore is resolving references (see ResolveRef); nil otherwise.
+	restoreReqs map[uint64]*pooledReq
 }
 
 var _ Backend = (*MemBackend)(nil)
@@ -32,12 +37,14 @@ var _ event.Handler = (*MemBackend)(nil)
 
 // pooledReq is a recyclable mem.Request. Its OnComplete is bound once, to
 // complete below, which returns the wrapper to the backend's free list and
-// then runs the caller's fill callback — so per-access traffic reuses both
-// the request struct and its completion closure.
+// then runs the caller's fill carrier — so per-access traffic reuses both
+// the request struct and its completion closure. The request's Src field
+// points back at the wrapper, letting the controller's snapshot name the
+// in-flight request it only knows as a *mem.Request.
 type pooledReq struct {
 	b    *MemBackend
 	req  mem.Request
-	done func(at uint64) // caller's callback for this use; nil for writes
+	done event.Filler // caller's completion for this use; nil for writes
 }
 
 func (p *pooledReq) complete(at uint64) {
@@ -45,8 +52,37 @@ func (p *pooledReq) complete(at uint64) {
 	p.done = nil
 	p.b.freeReqs = append(p.b.freeReqs, p)
 	if done != nil {
-		done(at)
+		done.OnFill(at)
 	}
+}
+
+// SnapRef implements event.RefMaker: the request's scalar fields plus, as
+// the nested ref, its completion carrier. A completion that is itself
+// unserializable (a test's FillFunc) nests as KNone, which resolution
+// rejects with a typed error.
+func (p *pooledReq) SnapRef() snap.Ref {
+	ref := snap.Ref{Kind: snap.KMemBackendReq, Args: []uint64{
+		p.req.ID, p.req.Addr, uint64(p.req.Kind), snap.Zig(int64(p.req.Thread)),
+		boolArg(p.req.Critical), p.req.Arrive,
+		snap.Zig(int64(p.req.State.Outstanding)),
+		snap.Zig(int64(p.req.State.ROBOccupancy)),
+		snap.Zig(int64(p.req.State.IQOccupancy)),
+	}}
+	if p.done != nil {
+		inner := snap.Ref{Kind: snap.KNone}
+		if rm, ok := p.done.(event.RefMaker); ok {
+			inner = rm.SnapRef()
+		}
+		ref.Inner = &inner
+	}
+	return ref
+}
+
+func boolArg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (b *MemBackend) getReq() *pooledReq {
@@ -58,6 +94,7 @@ func (b *MemBackend) getReq() *pooledReq {
 	}
 	p := &pooledReq{b: b}
 	p.req.OnComplete = p.complete
+	p.req.Src = p
 	return p
 }
 
@@ -67,7 +104,7 @@ func NewMemBackend(q *event.Queue, ctrl mem.Controller) *MemBackend {
 }
 
 // ReadLine implements Backend.
-func (b *MemBackend) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
+func (b *MemBackend) ReadLine(now uint64, addr uint64, meta Meta, done event.Filler) bool {
 	p := b.getReq()
 	p.req.ID = b.id()
 	p.req.Addr = addr
@@ -131,6 +168,11 @@ func (b *MemBackend) OnEvent(now uint64) {
 	}
 }
 
+// SnapRef implements event.RefMaker (the retry-drain timer).
+func (b *MemBackend) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KMemBackend}
+}
+
 // FixedLatency is a Backend with a constant service time and unlimited
 // bandwidth. It terminates hierarchies in unit tests and models the
 // "infinitely large" next level in CPI-breakdown runs.
@@ -150,10 +192,10 @@ func NewFixedLatency(q *event.Queue, latency uint64) *FixedLatency {
 }
 
 // ReadLine implements Backend.
-func (f *FixedLatency) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
+func (f *FixedLatency) ReadLine(now uint64, addr uint64, meta Meta, done event.Filler) bool {
 	f.Reads++
 	if done != nil {
-		f.q.Schedule(now+f.Latency, done)
+		f.q.ScheduleFiller(now+f.Latency, done)
 	}
 	return true
 }

@@ -11,6 +11,7 @@ import (
 	"smtdram/internal/event"
 	"smtdram/internal/mem"
 	"smtdram/internal/obs"
+	"smtdram/internal/snap"
 )
 
 // Meta carries the processor-side context of an access down the hierarchy so
@@ -30,8 +31,10 @@ type Meta struct {
 // must retry.
 type Backend interface {
 	// ReadLine requests a full line; done fires when the critical word (we
-	// model whole-line delivery) arrives.
-	ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool
+	// model whole-line delivery) arrives. done is a typed completion carrier
+	// (not a closure) so in-flight fills can be named by the snapshot codec;
+	// tests can wrap a plain function with event.FillFunc.
+	ReadLine(now uint64, addr uint64, meta Meta, done event.Filler) bool
 	// WriteLine hands a dirty line down; nobody waits for it.
 	WriteLine(now uint64, addr uint64, meta Meta) bool
 }
@@ -88,32 +91,33 @@ type line struct {
 }
 
 // mshr tracks one outstanding miss. MSHRs are recycled through the level's
-// free list; each doubles as its own issue/retry event (event.Handler) and
-// carries a fill callback bound once at creation, so the steady-state miss
-// path allocates neither closures nor tracker structs.
+// free list; each is a dual-role event object — its OnEvent is the issue
+// (and issue-retry) event, its OnFill the data-arrival continuation — so the
+// steady-state miss path allocates neither closures nor tracker structs, and
+// both roles serialize as one typed reference.
 type mshr struct {
 	addr    uint64
-	waiters []func(at uint64)
+	waiters []event.Filler
 	dirty   bool // a store merged into this miss; mark line dirty on fill
 	issued  bool // handed to the lower level (vs still retrying)
 
-	l      *Level
-	meta   Meta            // processor context of the allocating access
-	fillFn func(at uint64) // bound once to fill
+	l    *Level
+	meta Meta // processor context of the allocating access
 }
 
 // OnEvent is the issue (and issue-retry) event: hand the fill request to the
 // lower level, backing off while it is saturated.
 func (m *mshr) OnEvent(now uint64) {
-	if m.l.lower.ReadLine(now, m.addr, m.meta, m.fillFn) {
+	if m.l.lower.ReadLine(now, m.addr, m.meta, m) {
 		m.issued = true
 		return
 	}
 	m.l.q.ScheduleHandler(now+retryGap, m)
 }
 
-// fill installs the returned line, releases the MSHR, and wakes all waiters.
-func (m *mshr) fill(now uint64) {
+// OnFill installs the returned line, releases the MSHR, and wakes all
+// waiters.
+func (m *mshr) OnFill(now uint64) {
 	l := m.l
 	l.install(now, m.addr, m.dirty, m.meta)
 	delete(l.mshrs, m.addr)
@@ -121,10 +125,16 @@ func (m *mshr) fill(now uint64) {
 		l.MissEnd(m.meta)
 	}
 	for _, w := range m.waiters {
-		w(now)
+		w.OnFill(now)
 	}
 	l.releaseMSHR(m)
 	l.drainWB(now)
+}
+
+// SnapRef implements event.RefMaker: a live MSHR is named by its level and
+// line address (the level's mshrs map resolves it at restore).
+func (m *mshr) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCacheMSHR, Args: []uint64{uint64(m.l.snapID), m.addr}}
 }
 
 // Stats counts per-level activity.
@@ -153,6 +163,9 @@ type Level struct {
 	nsets uint64
 	mshrs map[uint64]*mshr
 	tick  uint64 // LRU clock
+
+	// snapID names this level in snapshot references (see SetSnapID).
+	snapID uint8
 
 	// pendingWB holds dirty victims the lower level refused; retried on a
 	// timer so eviction never blocks the fill path.
@@ -195,6 +208,11 @@ type wbEntry struct {
 type wbRetry struct{ l *Level }
 
 func (w *wbRetry) OnEvent(now uint64) { w.l.drainWB(now) }
+
+// SnapRef implements event.RefMaker (resolved to the level's embedded timer).
+func (w *wbRetry) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCacheWBRetry, Args: []uint64{uint64(w.l.snapID)}}
+}
 
 var _ Backend = (*Level)(nil)
 
@@ -247,7 +265,7 @@ func (l *Level) lookup(la uint64) *line {
 }
 
 // ReadLine implements Backend.
-func (l *Level) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64)) bool {
+func (l *Level) ReadLine(now uint64, addr uint64, meta Meta, done event.Filler) bool {
 	la := l.lineAddr(addr)
 	l.Stats.Accesses++
 	if l.cfg.Perfect {
@@ -268,7 +286,7 @@ func (l *Level) ReadLine(now uint64, addr uint64, meta Meta, done func(at uint64
 // fetch can continue in the same cycle) and starts a fill on a miss, calling
 // fill when the line arrives. accepted is false when the MSHRs are full and
 // no fill was started; the caller retries next cycle.
-func (l *Level) Probe(now uint64, addr uint64, meta Meta, fill func(at uint64)) (hit, accepted bool) {
+func (l *Level) Probe(now uint64, addr uint64, meta Meta, fill event.Filler) (hit, accepted bool) {
 	la := l.lineAddr(addr)
 	l.Stats.Accesses++
 	if l.cfg.Perfect {
@@ -349,7 +367,7 @@ func (l *Level) Store(now uint64, addr uint64, meta Meta) bool {
 }
 
 // miss allocates or merges an MSHR for la. done may be nil (writes).
-func (l *Level) miss(now uint64, la uint64, meta Meta, done func(at uint64), dirty bool) bool {
+func (l *Level) miss(now uint64, la uint64, meta Meta, done event.Filler, dirty bool) bool {
 	l.Stats.Misses++
 	if m, ok := l.mshrs[la]; ok {
 		l.Stats.Merged++
@@ -386,9 +404,7 @@ func (l *Level) getMSHR() *mshr {
 		l.freeMSHRs = l.freeMSHRs[:n-1]
 		return m
 	}
-	m := &mshr{l: l}
-	m.fillFn = m.fill
-	return m
+	return &mshr{l: l}
 }
 
 func (l *Level) releaseMSHR(m *mshr) {
@@ -466,11 +482,11 @@ func (l *Level) drainWB(now uint64) {
 }
 
 // complete schedules a hit completion.
-func (l *Level) complete(at uint64, done func(at uint64)) {
+func (l *Level) complete(at uint64, done event.Filler) {
 	if done == nil {
 		return
 	}
-	l.q.Schedule(at, done)
+	l.q.ScheduleFiller(at, done)
 }
 
 // RegisterMetrics exposes the level's counters and live MSHR occupancy

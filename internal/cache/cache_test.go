@@ -46,7 +46,7 @@ func TestMissThenHit(t *testing.T) {
 	l := newSmall(t, &q, lower)
 
 	var first, second uint64
-	l.ReadLine(0, 0x1000, Meta{Thread: 0}, func(at uint64) { first = at })
+	l.ReadLine(0, 0x1000, Meta{Thread: 0}, event.FillFunc(func(at uint64) { first = at }))
 	q.RunUntil(1 << 20)
 	if first != 101 { // L1 latency 1 + lower 100
 		t.Fatalf("miss completion at %d, want 101", first)
@@ -54,7 +54,7 @@ func TestMissThenHit(t *testing.T) {
 	if !l.Contains(0x1000) {
 		t.Fatal("line not installed after fill")
 	}
-	l.ReadLine(200, 0x1000, Meta{Thread: 0}, func(at uint64) { second = at })
+	l.ReadLine(200, 0x1000, Meta{Thread: 0}, event.FillFunc(func(at uint64) { second = at }))
 	q.RunUntil(1 << 20)
 	if second != 201 { // hit: L1 latency only
 		t.Fatalf("hit completion at %d, want 201", second)
@@ -75,7 +75,7 @@ func TestMissMerging(t *testing.T) {
 	var done int
 	for i := 0; i < 3; i++ {
 		// Same line, different offsets: one fill must wake all three.
-		if !l.ReadLine(0, 0x2000+uint64(i*8), Meta{}, func(uint64) { done++ }) {
+		if !l.ReadLine(0, 0x2000+uint64(i*8), Meta{}, event.FillFunc(func(uint64) { done++ })) {
 			t.Fatal("merged access rejected")
 		}
 	}
@@ -96,7 +96,7 @@ func TestMSHRExhaustion(t *testing.T) {
 	l := newSmall(t, &q, NewFixedLatency(&q, 1000))
 	accepted := 0
 	for i := 0; i < 10; i++ {
-		if l.ReadLine(0, uint64(i)*0x1000, Meta{}, func(uint64) {}) {
+		if l.ReadLine(0, uint64(i)*0x1000, Meta{}, event.FillFunc(func(uint64) {})) {
 			accepted++
 		}
 	}
@@ -185,7 +185,7 @@ func TestPerfectLevelAlwaysHits(t *testing.T) {
 	}
 	var at uint64
 	for i := 0; i < 100; i++ {
-		if !l.ReadLine(0, uint64(i)*4096, Meta{}, func(a uint64) { at = a }) {
+		if !l.ReadLine(0, uint64(i)*4096, Meta{}, event.FillFunc(func(a uint64) { at = a })) {
 			t.Fatal("perfect level rejected access")
 		}
 	}
@@ -211,7 +211,7 @@ func TestTwoLevelStack(t *testing.T) {
 	l1 := newSmall(t, &q, l2)
 
 	var at uint64
-	l1.ReadLine(0, 0x5000, Meta{Thread: 1}, func(a uint64) { at = a })
+	l1.ReadLine(0, 0x5000, Meta{Thread: 1}, event.FillFunc(func(a uint64) { at = a }))
 	q.RunUntil(1 << 20)
 	// 1 (L1) + 10 (L2 lookup) + 300 (memory) = 311.
 	if at != 311 {
@@ -252,7 +252,7 @@ func TestBackendRetryOnRejection(t *testing.T) {
 	rej := &rejecting{q: &q, after: 3}
 	l := newSmall(t, &q, rej)
 	var at uint64
-	l.ReadLine(0, 0x300, Meta{}, func(a uint64) { at = a })
+	l.ReadLine(0, 0x300, Meta{}, event.FillFunc(func(a uint64) { at = a }))
 	q.RunUntil(1 << 20)
 	if at == 0 {
 		t.Fatal("fill never completed despite retries")
@@ -269,12 +269,12 @@ type rejecting struct {
 	attempts int
 }
 
-func (r *rejecting) ReadLine(now uint64, addr uint64, meta Meta, done func(uint64)) bool {
+func (r *rejecting) ReadLine(now uint64, addr uint64, meta Meta, done event.Filler) bool {
 	r.attempts++
 	if r.attempts <= r.after {
 		return false
 	}
-	r.q.Schedule(now+1, done)
+	r.q.ScheduleFiller(now+1, done)
 	return true
 }
 func (r *rejecting) WriteLine(uint64, uint64, Meta) bool { return true }
@@ -311,7 +311,7 @@ func TestMemBackendTranslation(t *testing.T) {
 	b := NewMemBackend(&q, ctrl)
 	meta := Meta{Thread: 3, Critical: true, State: mem.ThreadState{Outstanding: 2, ROBOccupancy: 100, IQOccupancy: 9}}
 	var at uint64
-	if !b.ReadLine(5, 0xABC0, meta, func(a uint64) { at = a }) {
+	if !b.ReadLine(5, 0xABC0, meta, event.FillFunc(func(a uint64) { at = a })) {
 		t.Fatal("ReadLine rejected")
 	}
 	if len(ctrl.got) != 1 {
@@ -338,7 +338,7 @@ func TestMemBackendBuffersRejections(t *testing.T) {
 	ctrl := &fakeCtrl{rejectFirst: 2}
 	b := NewMemBackend(&q, ctrl)
 	var done bool
-	if !b.ReadLine(0, 0x40, Meta{}, func(uint64) { done = true }) {
+	if !b.ReadLine(0, 0x40, Meta{}, event.FillFunc(func(uint64) { done = true })) {
 		t.Fatal("backend should buffer the first rejection")
 	}
 	q.RunUntil(1 << 20)

@@ -1,5 +1,7 @@
 package cache
 
+import "smtdram/internal/snap"
+
 // Next-line prefetching with dedicated prefetch MSHRs.
 //
 // Table 1 of the paper provisions "Prefetch MSHR entries: 4/cache" alongside
@@ -54,28 +56,60 @@ func (l *Level) maybePrefetch(now uint64, la uint64, meta Meta) {
 	l.issuePrefetch(now, next, pfMeta)
 }
 
-// issuePrefetch hands the speculative fill to the lower level, retrying
-// while it is saturated (prefetches are patient; they never block demand).
+// pfIssue is a scheduled prefetch issue (event.Handler): it hands the
+// speculative fill to the lower level when it fires, rescheduling itself on
+// backpressure. A typed object rather than a closure so in-flight prefetches
+// serialize.
+type pfIssue struct {
+	l    *Level
+	la   uint64
+	meta Meta
+}
+
+func (p *pfIssue) OnEvent(now uint64) {
+	l := p.l
+	if !l.lower.ReadLine(now, p.la, p.meta, &pfFill{l: l, la: p.la}) {
+		l.issuePrefetch(now+retryGap, p.la, p.meta)
+	}
+}
+
+// SnapRef implements event.RefMaker.
+func (p *pfIssue) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCachePfIssue,
+		Args: append([]uint64{uint64(p.l.snapID), p.la}, metaArgs(p.meta)...)}
+}
+
+// pfFill is a prefetch's data-arrival continuation (event.Filler).
+type pfFill struct {
+	l  *Level
+	la uint64
+}
+
+func (p *pfFill) OnFill(fillAt uint64) {
+	l, la := p.l, p.la
+	l.pfInFlight--
+	delete(l.pfPending, la)
+	// A demand miss may have allocated its own MSHR for this line while the
+	// prefetch was in flight; in that case the demand fill will install it,
+	// and installing here too would double-count.
+	if _, demand := l.mshrs[la]; demand {
+		l.Prefetch.Late++
+		return
+	}
+	if l.lookup(la) == nil {
+		l.installPrefetched(fillAt, la)
+	}
+}
+
+// SnapRef implements event.RefMaker.
+func (p *pfFill) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCachePfFill, Args: []uint64{uint64(p.l.snapID), p.la}}
+}
+
+// issuePrefetch schedules the speculative fill's issue, retrying while the
+// lower level is saturated (prefetches are patient; they never block demand).
 func (l *Level) issuePrefetch(at uint64, la uint64, meta Meta) {
-	l.q.Schedule(at+l.cfg.Latency, func(now uint64) {
-		ok := l.lower.ReadLine(now, la, meta, func(fillAt uint64) {
-			l.pfInFlight--
-			delete(l.pfPending, la)
-			// A demand miss may have allocated its own MSHR for this line
-			// while the prefetch was in flight; in that case the demand fill
-			// will install it, and installing here too would double-count.
-			if _, demand := l.mshrs[la]; demand {
-				l.Prefetch.Late++
-				return
-			}
-			if l.lookup(la) == nil {
-				l.installPrefetched(fillAt, la)
-			}
-		})
-		if !ok {
-			l.issuePrefetch(now+retryGap, la, meta)
-		}
-	})
+	l.q.ScheduleHandler(at+l.cfg.Latency, &pfIssue{l: l, la: la, meta: meta})
 }
 
 // installPrefetched places a clean, prefetch-tagged line.

@@ -33,7 +33,7 @@ func TestPrefetchFetchesNextLine(t *testing.T) {
 	}
 	// Demanding the prefetched line is a hit and counts as useful.
 	var hitAt uint64
-	l.ReadLine(1000, 0x1040, Meta{Thread: 0}, func(at uint64) { hitAt = at })
+	l.ReadLine(1000, 0x1040, Meta{Thread: 0}, event.FillFunc(func(at uint64) { hitAt = at }))
 	q.RunUntil(1 << 20)
 	if hitAt != 1002 {
 		t.Fatalf("prefetched line demanded at %d, want hit at 1002", hitAt)
@@ -101,7 +101,7 @@ func TestLatePrefetchDoesNotDoubleInstall(t *testing.T) {
 	// complete; the line must be installed once and the demand waiter woken.
 	l.ReadLine(0, 0x3000, Meta{}, nil)
 	var woken bool
-	l.ReadLine(10, 0x3040, Meta{}, func(uint64) { woken = true })
+	l.ReadLine(10, 0x3040, Meta{}, event.FillFunc(func(uint64) { woken = true }))
 	q.RunUntil(1 << 20)
 	if !woken {
 		t.Fatal("demand waiter on the racing line never woke")

@@ -1,0 +1,374 @@
+package cache
+
+// Snapshot/Restore for the cache hierarchy (DESIGN §15): each Level
+// serializes its line arrays, LRU clock, MSHR file (including waiter
+// references), writeback buffer, and prefetch state; the MemBackend
+// serializes its retry buffer and request-ID counter. References to pending
+// completions are encoded as typed snap.Refs and resolved back to live
+// objects by the core resolver at restore time.
+
+import (
+	"fmt"
+	"sort"
+
+	"smtdram/internal/event"
+	"smtdram/internal/mem"
+	"smtdram/internal/snap"
+)
+
+const (
+	sectionLevel   = 0x4C56454C // "LEVL"
+	sectionBackend = 0x4D454D42 // "BMEM"
+)
+
+// SetSnapID names the level for snapshot references. The core assigns stable
+// IDs at assembly (0=l1i, 1=l1d, 2=l2, 3=l3); levels outside a Simulator
+// never snapshot, so their zero ID is unused.
+func (l *Level) SetSnapID(id uint8) { l.snapID = id }
+
+func metaArgs(m Meta) []uint64 {
+	return []uint64{
+		snap.Zig(int64(m.Thread)), boolArg(m.Critical),
+		snap.Zig(int64(m.State.Outstanding)),
+		snap.Zig(int64(m.State.ROBOccupancy)),
+		snap.Zig(int64(m.State.IQOccupancy)),
+	}
+}
+
+func metaFromArgs(a []uint64) (Meta, error) {
+	if len(a) != 5 {
+		return Meta{}, fmt.Errorf("%w: meta needs 5 args, got %d", snap.ErrCorrupt, len(a))
+	}
+	return Meta{
+		Thread:   int(snap.Unzig(a[0])),
+		Critical: a[1] != 0,
+		State: mem.ThreadState{
+			Outstanding:  int(snap.Unzig(a[2])),
+			ROBOccupancy: int(snap.Unzig(a[3])),
+			IQOccupancy:  int(snap.Unzig(a[4])),
+		},
+	}, nil
+}
+
+func writeMeta(w *snap.Writer, m Meta) {
+	for _, a := range metaArgs(m) {
+		w.U64(a)
+	}
+}
+
+func readMeta(r *snap.Reader) Meta {
+	m, _ := metaFromArgs([]uint64{r.U64(), r.U64(), r.U64(), r.U64(), r.U64()})
+	return m
+}
+
+// fillerRef encodes a pending completion carrier, failing on carriers the
+// codec cannot name (test closures wrapped in event.FillFunc).
+func fillerRef(f event.Filler) (snap.Ref, error) {
+	rm, ok := f.(event.RefMaker)
+	if !ok {
+		return snap.Ref{}, fmt.Errorf("%w: fill carrier %T has no SnapRef", snap.ErrUnsupported, f)
+	}
+	return rm.SnapRef(), nil
+}
+
+// Snapshot serializes the level's mutable state. The configuration is not
+// written: restore targets a level built from an identical Config (enforced
+// upstream by the warmup-prefix fingerprint).
+func (l *Level) Snapshot(w *snap.Writer) error {
+	w.Marker(sectionLevel)
+	w.U8(l.snapID)
+	w.U64(l.tick)
+	w.U64(l.Stats.Accesses)
+	w.U64(l.Stats.Misses)
+	w.U64(l.Stats.Merged)
+	w.U64(l.Stats.Writebacks)
+	w.U64(l.Stats.MSHRFull)
+	w.U64(l.Prefetch.Issued)
+	w.U64(l.Prefetch.Useful)
+	w.U64(l.Prefetch.Late)
+	w.U64(l.Prefetch.Dropped)
+
+	w.U64(uint64(len(l.pendingWB)))
+	for _, e := range l.pendingWB {
+		w.U64(e.addr)
+		writeMeta(w, e.meta)
+	}
+
+	w.U64(uint64(l.pfInFlight))
+	pf := make([]uint64, 0, len(l.pfPending))
+	for la := range l.pfPending {
+		pf = append(pf, la)
+	}
+	sort.Slice(pf, func(i, j int) bool { return pf[i] < pf[j] })
+	w.U64(uint64(len(pf)))
+	for _, la := range pf {
+		w.U64(la)
+	}
+
+	w.Bool(l.cfg.Perfect)
+	if !l.cfg.Perfect {
+		for _, set := range l.sets {
+			for _, ln := range set {
+				w.U64(ln.tag)
+				w.Bool(ln.valid)
+				w.Bool(ln.dirty)
+				w.Bool(ln.prefetched)
+				w.U64(ln.used)
+			}
+		}
+	}
+
+	addrs := make([]uint64, 0, len(l.mshrs))
+	for a := range l.mshrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w.U64(uint64(len(addrs)))
+	for _, a := range addrs {
+		m := l.mshrs[a]
+		w.U64(m.addr)
+		w.Bool(m.dirty)
+		w.Bool(m.issued)
+		writeMeta(w, m.meta)
+		w.U64(uint64(len(m.waiters)))
+		for _, wt := range m.waiters {
+			ref, err := fillerRef(wt)
+			if err != nil {
+				return fmt.Errorf("level %s mshr %#x: %w", l.cfg.Name, m.addr, err)
+			}
+			w.Ref(&ref)
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds the level's mutable state from r. MSHRs are recreated
+// first (so queue restoration can resolve references to them); their waiter
+// references resolve through resolve, which must already cover the CPU and
+// any level above this one — the core restores top-down.
+func (l *Level) Restore(r *snap.Reader, resolve event.Resolver) error {
+	r.Expect(sectionLevel)
+	if id := r.U8(); r.Err() == nil && id != l.snapID {
+		return fmt.Errorf("%w: level snapshot for id %d, restoring into %d", snap.ErrCorrupt, id, l.snapID)
+	}
+	l.tick = r.U64()
+	l.Stats = Stats{
+		Accesses:   r.U64(),
+		Misses:     r.U64(),
+		Merged:     r.U64(),
+		Writebacks: r.U64(),
+		MSHRFull:   r.U64(),
+	}
+	l.Prefetch = prefetchStats{
+		Issued:  r.U64(),
+		Useful:  r.U64(),
+		Late:    r.U64(),
+		Dropped: r.U64(),
+	}
+
+	l.pendingWB = l.pendingWB[:0]
+	nWB := r.U64()
+	for i := uint64(0); i < nWB && r.Err() == nil; i++ {
+		l.pendingWB = append(l.pendingWB, wbEntry{addr: r.U64(), meta: readMeta(r)})
+	}
+
+	l.pfInFlight = int(r.U64())
+	for la := range l.pfPending {
+		delete(l.pfPending, la)
+	}
+	nPf := r.U64()
+	for i := uint64(0); i < nPf && r.Err() == nil; i++ {
+		l.pfPending[r.U64()] = struct{}{}
+	}
+
+	perfect := r.Bool()
+	if r.Err() == nil && perfect != l.cfg.Perfect {
+		return fmt.Errorf("%w: snapshot perfect=%v, level perfect=%v", snap.ErrCorrupt, perfect, l.cfg.Perfect)
+	}
+	if !l.cfg.Perfect {
+		for si := range l.sets {
+			set := l.sets[si]
+			for wi := range set {
+				set[wi] = line{
+					tag:        r.U64(),
+					valid:      r.Bool(),
+					dirty:      r.Bool(),
+					prefetched: r.Bool(),
+					used:       r.U64(),
+				}
+			}
+		}
+	}
+
+	for a, m := range l.mshrs {
+		l.releaseMSHR(m)
+		delete(l.mshrs, a)
+	}
+	nM := r.U64()
+	for i := uint64(0); i < nM; i++ {
+		m := l.getMSHR()
+		m.addr = r.U64()
+		m.dirty = r.Bool()
+		m.issued = r.Bool()
+		m.meta = readMeta(r)
+		nw := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		for j := uint64(0); j < nw; j++ {
+			ref := r.Ref()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			obj, err := resolve(ref, event.RoleFiller)
+			if err != nil {
+				return fmt.Errorf("level %s mshr %#x waiter: %w", l.cfg.Name, m.addr, err)
+			}
+			f, ok := obj.(event.Filler)
+			if !ok {
+				return fmt.Errorf("%w: mshr waiter resolved to %T", snap.ErrCorrupt, obj)
+			}
+			m.waiters = append(m.waiters, f)
+		}
+		l.mshrs[m.addr] = m
+	}
+	return r.Err()
+}
+
+// ResolveRef maps a cache-kind reference back to this level's live object.
+func (l *Level) ResolveRef(ref *snap.Ref) (any, error) {
+	switch ref.Kind {
+	case snap.KCacheMSHR:
+		if len(ref.Args) != 2 {
+			return nil, fmt.Errorf("%w: mshr ref needs 2 args", snap.ErrCorrupt)
+		}
+		m, ok := l.mshrs[ref.Args[1]]
+		if !ok {
+			return nil, fmt.Errorf("%w: no mshr for line %#x in %s", snap.ErrCorrupt, ref.Args[1], l.cfg.Name)
+		}
+		return m, nil
+	case snap.KCacheWBRetry:
+		return &l.wbretry, nil
+	case snap.KCachePfIssue:
+		if len(ref.Args) != 7 {
+			return nil, fmt.Errorf("%w: prefetch-issue ref needs 7 args", snap.ErrCorrupt)
+		}
+		m, err := metaFromArgs(ref.Args[2:])
+		if err != nil {
+			return nil, err
+		}
+		return &pfIssue{l: l, la: ref.Args[1], meta: m}, nil
+	case snap.KCachePfFill:
+		if len(ref.Args) != 2 {
+			return nil, fmt.Errorf("%w: prefetch-fill ref needs 2 args", snap.ErrCorrupt)
+		}
+		return &pfFill{l: l, la: ref.Args[1]}, nil
+	default:
+		return nil, fmt.Errorf("%w: ref kind %d is not a cache kind", snap.ErrCorrupt, ref.Kind)
+	}
+}
+
+// Snapshot serializes the backend's retry buffer and ID counter.
+func (b *MemBackend) Snapshot(w *snap.Writer) error {
+	w.Marker(sectionBackend)
+	w.U64(b.nextID)
+	w.U64(uint64(len(b.pending)))
+	for _, req := range b.pending {
+		rm, ok := req.Src.(event.RefMaker)
+		if !ok {
+			return fmt.Errorf("%w: pending request %d has no source wrapper", snap.ErrUnsupported, req.ID)
+		}
+		ref := rm.SnapRef()
+		w.Ref(&ref)
+	}
+	return nil
+}
+
+// Restore rebuilds the backend's retry buffer. It also arms the restore-time
+// request memo that ResolveRef uses, so every reference to one in-flight
+// request (the controller's queue entry, this retry buffer) resolves to the
+// same wrapper; the core calls FinishRestore once the whole machine is back.
+func (b *MemBackend) Restore(r *snap.Reader, resolve event.Resolver) error {
+	b.restoreReqs = make(map[uint64]*pooledReq)
+	for i := range b.pending {
+		b.pending[i] = nil
+	}
+	b.pending = b.pending[:0]
+	r.Expect(sectionBackend)
+	b.nextID = r.U64()
+	n := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		ref := r.Ref()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		obj, err := resolve(ref, event.RoleHandler)
+		if err != nil {
+			return fmt.Errorf("backend pending %d: %w", i, err)
+		}
+		req, ok := obj.(*mem.Request)
+		if !ok {
+			return fmt.Errorf("%w: pending entry resolved to %T", snap.ErrCorrupt, obj)
+		}
+		b.pending = append(b.pending, req)
+	}
+	return nil
+}
+
+// FinishRestore drops the restore-time request memo.
+func (b *MemBackend) FinishRestore() { b.restoreReqs = nil }
+
+// ResolveRef maps backend-kind references to live objects: the backend
+// itself (its retry timer) or an in-flight request, rebuilt on first
+// reference and memoized by ID so aliased references share one wrapper.
+func (b *MemBackend) ResolveRef(ref *snap.Ref, resolve event.Resolver) (any, error) {
+	switch ref.Kind {
+	case snap.KMemBackend:
+		return b, nil
+	case snap.KMemBackendReq:
+		if len(ref.Args) != 9 {
+			return nil, fmt.Errorf("%w: request ref needs 9 args", snap.ErrCorrupt)
+		}
+		id := ref.Args[0]
+		if b.restoreReqs == nil {
+			b.restoreReqs = make(map[uint64]*pooledReq)
+		}
+		if p, ok := b.restoreReqs[id]; ok {
+			return &p.req, nil
+		}
+		p := b.getReq()
+		p.req.ID = id
+		p.req.Addr = ref.Args[1]
+		p.req.Kind = mem.Kind(ref.Args[2])
+		p.req.Thread = int(snap.Unzig(ref.Args[3]))
+		p.req.Critical = ref.Args[4] != 0
+		p.req.Arrive = ref.Args[5]
+		p.req.State = mem.ThreadState{
+			Outstanding:  int(snap.Unzig(ref.Args[6])),
+			ROBOccupancy: int(snap.Unzig(ref.Args[7])),
+			IQOccupancy:  int(snap.Unzig(ref.Args[8])),
+		}
+		p.done = nil
+		if ref.Inner != nil {
+			if ref.Inner.Kind == snap.KNone {
+				return nil, fmt.Errorf("%w: request %d carries an unserializable completion", snap.ErrUnsupported, id)
+			}
+			obj, err := resolve(ref.Inner, event.RoleFiller)
+			if err != nil {
+				return nil, fmt.Errorf("request %d completion: %w", id, err)
+			}
+			f, ok := obj.(event.Filler)
+			if !ok {
+				return nil, fmt.Errorf("%w: request completion resolved to %T", snap.ErrCorrupt, obj)
+			}
+			p.done = f
+		}
+		b.restoreReqs[id] = p
+		return &p.req, nil
+	default:
+		return nil, fmt.Errorf("%w: ref kind %d is not a backend kind", snap.ErrCorrupt, ref.Kind)
+	}
+}

@@ -265,6 +265,28 @@ func (c Config) Fingerprint() string {
 	return fp
 }
 
+// WarmupFingerprint identifies a configuration's warmup prefix: every knob
+// that can influence the machine's state — or the run loop's bookkeeping — at
+// the cycle the last thread crosses WarmupInstr. Sweep points that differ only
+// in knobs acting after measurement begins (TargetInstr, most prominently)
+// share a fingerprint and therefore a warmup checkpoint. Unlike Fingerprint,
+// this includes every geometry and tuning field: a checkpoint is raw machine
+// state, so anything that shapes that state must key it. The cycle budget and
+// watchdog window appear because the two-speed clock's landing schedule (and
+// with it the skip accounting a checkpoint carries) is clamped by them.
+func (c Config) WarmupFingerprint() string {
+	return fmt.Sprintf("apps=%s seed=%d warm=%d max=%d wd=%d noskip=%v cpu=%+v"+
+		" mem=%s-%dch-g%d %s %s %s q%d if%d taf=%v refresh=%v turn=%d"+
+		" l1i=%+v l1d=%+v l2=%+v l3=%+v perfect=%v%v%v",
+		strings.Join(c.Apps, "+"), c.Seed, c.WarmupInstr, c.maxCycles(),
+		c.WatchdogCycles, c.DisableClockSkip, c.CPU,
+		c.Mem.Kind, c.Mem.PhysChannels, c.Mem.Gang,
+		c.Mem.PageMode, c.Mem.Scheme, c.Mem.Policy,
+		c.Mem.QueueDepth, c.Mem.MaxInFlight, c.Mem.ThreadAwareFirst,
+		c.Mem.Refresh, c.Mem.TurnaroundNS,
+		c.L1I, c.L1D, c.L2, c.L3, c.PerfectL1, c.PerfectL2, c.PerfectL3)
+}
+
 func (c Config) maxCycles() uint64 {
 	if c.MaxCycles > 0 {
 		return c.MaxCycles

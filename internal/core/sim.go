@@ -128,9 +128,22 @@ type Simulator struct {
 	l1d  *cache.Level
 	l2   *cache.Level
 	l3   *cache.Level
+	mb   *cache.MemBackend
+	gens []*workload.Gen // nil when cfg.Sources drives the threads
 	obs  *obs.Observer
 	fsn  *failSnap
 	skip obs.SkipStats
+
+	// Warmup-checkpoint plumbing (see snapshot.go). pauseArmed makes
+	// RunContext serialize the machine and stop at the warmup boundary;
+	// resumeAt (with the restored watchdog registers) makes it continue a
+	// decoded checkpoint from that same boundary.
+	pauseArmed bool
+	pauseData  []byte
+	pauseNow   uint64
+	resumeAt   uint64
+	resumeLC   uint64
+	resumeLP   uint64
 }
 
 // SkipStats reports how much of the run the two-speed clock fast-forwarded
@@ -205,7 +218,8 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	l1dcfg.Perfect = l1dcfg.Perfect || cfg.PerfectL1
 	l1icfg.Perfect = l1icfg.Perfect || cfg.PerfectL1
 
-	s.l3, err = cache.New(&s.q, l3cfg, cache.NewMemBackend(&s.q, s.ctrl))
+	s.mb = cache.NewMemBackend(&s.q, s.ctrl)
+	s.l3, err = cache.New(&s.q, l3cfg, s.mb)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +235,11 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Stable level identities for snapshot references (DESIGN §15).
+	s.l1i.SetSnapID(0)
+	s.l1d.SetSnapID(1)
+	s.l2.SetSnapID(2)
+	s.l3.SetSnapID(3)
 
 	gens := make([]cpu.Source, len(cfg.Apps))
 	for i, name := range cfg.Apps {
@@ -237,6 +256,7 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 		gens[i] = g
+		s.gens = append(s.gens, g)
 	}
 	s.cpu, err = cpu.New(&s.q, cfg.CPU, gens, s.l1i, s.l1d)
 	if err != nil {
@@ -448,53 +468,88 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		}
 		return target
 	}
-	for now = 1; now <= limit; now++ {
-		s.q.RunUntil(now)
-		s.cpu.Tick(now)
-		if s.obs != nil {
-			s.obs.OnCycle(now, s.q.Fired())
-		}
-		// Progress watchdog: a machine that commits nothing for wd cycles is
-		// livelocked, not slow — abort with a structured error instead of
-		// burning the remaining MaxCycles budget. Cancellation shares the
-		// boundary: one Err() load per 1024 cycles is noise, and a cancelled
-		// run unwinds through the same stats/observer close-out as an abort.
-		if now&1023 == 0 {
-			if err := ctx.Err(); err != nil {
-				endPhase(now)
-				s.ctrl.FinishStats(now)
-				s.skip.Wall = now
-				if s.obs != nil {
-					s.obs.Skip = s.skip
-					s.obs.Finish(now)
-				}
-				return Result{}, err
-			}
-			if c := s.cpu.TotalCommitted; c != lastCommitted {
-				lastCommitted, lastProgress = c, now
-			} else if now-lastProgress >= wd {
-				endPhase(now)
-				s.ctrl.FinishStats(now)
-				s.skip.Wall = now
-				if s.obs != nil {
-					s.obs.Skip = s.skip
-					s.obs.Finish(now)
-				}
-				return Result{}, &NoProgressError{Cycle: now, Window: wd, Committed: c}
-			}
-		}
-		if watchFail && s.fsn == nil {
-			if _, at := s.ctrl.Failover(); at > 0 {
-				s.fsn = &failSnap{atCycle: now, committed: s.cpu.TotalCommitted,
-					reads: s.ctrl.Stats.Reads, latSum: s.ctrl.Stats.ReadLatencySum}
-			}
-		}
-		if !sn.taken && s.cpu.AllWarmed() {
+	// Warmup-checkpoint restore: the checkpoint was taken at the warmup
+	// boundary, after its cycle's events and Tick but before the warmup
+	// transition, so the resumed loop enters at that cycle and performs only
+	// the remainder of its iteration (guarded below) before continuing
+	// normally — landing on the exact instruction stream an uninterrupted run
+	// would execute.
+	resumed := s.resumeAt > 0
+	startAt := uint64(1)
+	if resumed {
+		startAt = s.resumeAt
+		lastCommitted, lastProgress = s.resumeLC, s.resumeLP
+	}
+	for now = startAt; now <= limit; now++ {
+		if resumed {
+			resumed = false
 			s.ctrl.FinishStats(now)
 			sn = s.takeSnapshot(now)
 			if runSpan != nil {
 				endPhase(now)
 				phaseSpan = runSpan.Child("measure", obs.A("start_cycle", strconv.FormatUint(now, 10)))
+			}
+		} else {
+			s.q.RunUntil(now)
+			s.cpu.Tick(now)
+			if s.obs != nil {
+				s.obs.OnCycle(now, s.q.Fired())
+			}
+			// Progress watchdog: a machine that commits nothing for wd cycles
+			// is livelocked, not slow — abort with a structured error instead
+			// of burning the remaining MaxCycles budget. Cancellation shares
+			// the boundary: one Err() load per 1024 cycles is noise, and a
+			// cancelled run unwinds through the same stats/observer close-out
+			// as an abort.
+			if now&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					endPhase(now)
+					s.ctrl.FinishStats(now)
+					s.skip.Wall = now
+					if s.obs != nil {
+						s.obs.Skip = s.skip
+						s.obs.Finish(now)
+					}
+					return Result{}, err
+				}
+				if c := s.cpu.TotalCommitted; c != lastCommitted {
+					lastCommitted, lastProgress = c, now
+				} else if now-lastProgress >= wd {
+					endPhase(now)
+					s.ctrl.FinishStats(now)
+					s.skip.Wall = now
+					if s.obs != nil {
+						s.obs.Skip = s.skip
+						s.obs.Finish(now)
+					}
+					return Result{}, &NoProgressError{Cycle: now, Window: wd, Committed: c}
+				}
+			}
+			if watchFail && s.fsn == nil {
+				if _, at := s.ctrl.Failover(); at > 0 {
+					s.fsn = &failSnap{atCycle: now, committed: s.cpu.TotalCommitted,
+						reads: s.ctrl.Stats.Reads, latSum: s.ctrl.Stats.ReadLatencySum}
+				}
+			}
+			if !sn.taken && s.cpu.AllWarmed() {
+				if s.pauseArmed {
+					// Armed warmup checkpoint: freeze the machine exactly here
+					// — before the transition work the resumed run replays —
+					// and hand the frame back through the pause fields.
+					s.pauseArmed = false
+					data, err := s.encode(now, lastCommitted, lastProgress)
+					if err != nil {
+						return Result{}, err
+					}
+					s.pauseData, s.pauseNow = data, now
+					return Result{}, errPaused
+				}
+				s.ctrl.FinishStats(now)
+				sn = s.takeSnapshot(now)
+				if runSpan != nil {
+					endPhase(now)
+					phaseSpan = runSpan.Child("measure", obs.A("start_cycle", strconv.FormatUint(now, 10)))
+				}
 			}
 		}
 		if sn.taken && s.cpu.AllFinished() {

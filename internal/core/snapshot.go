@@ -1,0 +1,239 @@
+package core
+
+// Warmup checkpointing (DESIGN §15). A Simulator's full state — CPU, cache
+// hierarchy, memory backend, controller, DRAM devices, event queue, and
+// workload generators — serializes into one CRC-framed binary blob at the
+// warmup boundary (the cycle the last thread crosses WarmupInstr). A sweep
+// point restored from that blob produces byte-identical results to an
+// uninterrupted run, so drivers run warmup once per warmup-prefix fingerprint
+// and fork every sweep point from the checkpoint.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"smtdram/internal/cache"
+	"smtdram/internal/obs"
+	"smtdram/internal/snap"
+)
+
+const (
+	ckptMagic   = "SMTC"
+	ckptVersion = 1
+	sectionSim  = 0x434F5245 // "CORE"
+)
+
+// errPaused is RunContext's internal signal that the run stopped at the armed
+// warmup boundary instead of finishing.
+var errPaused = errors.New("core: paused at warmup boundary")
+
+// Checkpoint is a machine frozen at its warmup boundary.
+type Checkpoint struct {
+	// Prefix is the warmup-prefix fingerprint (Config.WarmupFingerprint) the
+	// checkpoint was taken under; restore validates it against the target
+	// configuration.
+	Prefix string
+	// Now is the cycle the last thread crossed WarmupInstr.
+	Now uint64
+	// Data is the versioned, CRC-framed machine state.
+	Data []byte
+}
+
+// CheckpointSupported reports whether cfg can participate in warmup
+// checkpointing. Unsupported configurations (no warmup phase, fault plans,
+// external instruction sources, attached observers or trace sinks) return a
+// snap.ErrUnsupported-wrapped explanation; callers fall back to a plain run.
+func CheckpointSupported(cfg Config) error {
+	switch {
+	case cfg.WarmupInstr == 0:
+		return fmt.Errorf("%w: no warmup phase to checkpoint", snap.ErrUnsupported)
+	case !cfg.Faults.Empty():
+		return fmt.Errorf("%w: fault plans arm mid-run events", snap.ErrUnsupported)
+	case cfg.Sources != nil:
+		return fmt.Errorf("%w: externally supplied instruction sources", snap.ErrUnsupported)
+	case cfg.Observe != nil:
+		return fmt.Errorf("%w: observer state is not serializable", snap.ErrUnsupported)
+	case cfg.Mem.Trace != nil:
+		return fmt.Errorf("%w: a DRAM trace sink would miss warmup events", snap.ErrUnsupported)
+	}
+	return nil
+}
+
+// WarmupCheckpoint runs cfg's warmup phase and captures the machine at the
+// exact cycle measurement would begin. The returned checkpoint is reusable by
+// every configuration sharing cfg's WarmupFingerprint.
+func WarmupCheckpoint(ctx context.Context, cfg Config) (*Checkpoint, error) {
+	if err := CheckpointSupported(cfg); err != nil {
+		return nil, err
+	}
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.pauseArmed = true
+	_, err = s.RunContext(ctx)
+	switch {
+	case errors.Is(err, errPaused):
+		return &Checkpoint{Prefix: cfg.WarmupFingerprint(), Now: s.pauseNow, Data: s.pauseData}, nil
+	case err != nil:
+		return nil, err
+	default:
+		return nil, fmt.Errorf("core: run finished without reaching the warmup boundary")
+	}
+}
+
+// NewCheckpointedSimulator builds the machine described by cfg and restores
+// chk into it, ready for RunContext to continue from the warmup boundary.
+func NewCheckpointedSimulator(cfg Config, chk *Checkpoint) (*Simulator, error) {
+	if err := CheckpointSupported(cfg); err != nil {
+		return nil, err
+	}
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.decode(chk.Data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunFromCheckpoint restores chk into a fresh machine built from cfg and runs
+// the measurement phase. The result is byte-identical to RunContext on the
+// same cfg (the equivalence suite and the lockstep oracle assert this).
+func RunFromCheckpoint(ctx context.Context, cfg Config, chk *Checkpoint) (Result, error) {
+	s, err := NewCheckpointedSimulator(cfg, chk)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunContext(ctx)
+}
+
+// encode serializes the full machine plus the run-loop registers that survive
+// the pause (cycle position, watchdog progress state, skip accounting).
+func (s *Simulator) encode(now, lastCommitted, lastProgress uint64) ([]byte, error) {
+	w := &snap.Writer{}
+	w.Marker(sectionSim)
+	w.String(s.cfg.WarmupFingerprint())
+	w.U64(now)
+	w.U64(lastCommitted)
+	w.U64(lastProgress)
+	w.U64(s.skip.Skipped)
+	w.U64(s.skip.Segments)
+	w.U64(s.skip.Longest)
+	if err := s.cpu.Snapshot(w); err != nil {
+		return nil, err
+	}
+	for _, l := range []*cache.Level{s.l1i, s.l1d, s.l2, s.l3} {
+		if err := l.Snapshot(w); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.mb.Snapshot(w); err != nil {
+		return nil, err
+	}
+	if err := s.ctrl.Snapshot(w); err != nil {
+		return nil, err
+	}
+	if err := s.q.Snapshot(w); err != nil {
+		return nil, err
+	}
+	w.U64(uint64(len(s.gens)))
+	for _, g := range s.gens {
+		if err := g.Snapshot(w); err != nil {
+			return nil, err
+		}
+	}
+	return w.Frame(ckptMagic, ckptVersion), nil
+}
+
+// decode rebuilds the machine from a checkpoint frame. Restoration order
+// follows reference direction: the CPU first (its fill carriers resolve from
+// pools alone), then the cache levels top-down (a level's MSHR waiters point
+// at the level above), then the memory backend, the controller (queued
+// entries reference backend requests), the event queue (references
+// everything), and the workload generators.
+func (s *Simulator) decode(data []byte) error {
+	r, err := snap.NewReader(data, ckptMagic, ckptVersion)
+	if err != nil {
+		return err
+	}
+	r.Expect(sectionSim)
+	prefix := r.String()
+	now := r.U64()
+	lastCommitted := r.U64()
+	lastProgress := r.U64()
+	skipped, segments, longest := r.U64(), r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if want := s.cfg.WarmupFingerprint(); prefix != want {
+		return fmt.Errorf("%w: checkpoint prefix %q does not match configuration %q", snap.ErrCorrupt, prefix, want)
+	}
+	if now == 0 || now > s.cfg.maxCycles() {
+		return fmt.Errorf("%w: checkpoint cycle %d outside the run's budget", snap.ErrCorrupt, now)
+	}
+	if err := s.cpu.Restore(r); err != nil {
+		return err
+	}
+	for _, l := range []*cache.Level{s.l1i, s.l1d, s.l2, s.l3} {
+		if err := l.Restore(r, s.resolveRef); err != nil {
+			return err
+		}
+	}
+	if err := s.mb.Restore(r, s.resolveRef); err != nil {
+		return err
+	}
+	if err := s.ctrl.Restore(r, s.resolveRef); err != nil {
+		return err
+	}
+	if err := s.q.Restore(r, s.resolveRef); err != nil {
+		return err
+	}
+	nG := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nG != uint64(len(s.gens)) {
+		return fmt.Errorf("%w: checkpoint has %d generators, machine has %d", snap.ErrCorrupt, nG, len(s.gens))
+	}
+	for _, g := range s.gens {
+		if err := g.Restore(r); err != nil {
+			return err
+		}
+	}
+	r.Done()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.mb.FinishRestore()
+	s.skip = obs.SkipStats{Skipped: skipped, Segments: segments, Longest: longest}
+	s.resumeAt, s.resumeLC, s.resumeLP = now, lastCommitted, lastProgress
+	return nil
+}
+
+// resolveRef is the production event.Resolver: it dispatches a decoded
+// reference to the component that owns its kind.
+func (s *Simulator) resolveRef(ref *snap.Ref, role uint8) (any, error) {
+	switch ref.Kind {
+	case snap.KCPULoadFill, snap.KCPUIFill, snap.KCPUBranch:
+		return s.cpu.ResolveRef(ref, role)
+	case snap.KCacheMSHR, snap.KCacheWBRetry, snap.KCachePfIssue, snap.KCachePfFill:
+		if len(ref.Args) < 1 {
+			return nil, fmt.Errorf("%w: cache ref missing level id", snap.ErrCorrupt)
+		}
+		levels := [4]*cache.Level{s.l1i, s.l1d, s.l2, s.l3}
+		id := ref.Args[0]
+		if id >= uint64(len(levels)) {
+			return nil, fmt.Errorf("%w: cache ref level id %d out of range", snap.ErrCorrupt, id)
+		}
+		return levels[id].ResolveRef(ref)
+	case snap.KMemBackend, snap.KMemBackendReq:
+		return s.mb.ResolveRef(ref, s.resolveRef)
+	case snap.KMemEntry, snap.KMemRetry, snap.KMemFailover:
+		return s.ctrl.ResolveRef(ref, s.resolveRef)
+	default:
+		return nil, fmt.Errorf("%w: unknown ref kind %d", snap.ErrCorrupt, ref.Kind)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"smtdram/internal/event"
 	"smtdram/internal/mem"
 	"smtdram/internal/obs"
+	"smtdram/internal/snap"
 	"smtdram/internal/workload"
 )
 
@@ -252,19 +253,19 @@ type pendingStore struct {
 	meta cache.Meta
 }
 
-// loadFill is the recyclable completion callback of an in-flight load: fn is
-// bound once to done and handed to the L1D as the fill callback. The cache
-// either retains an accepted fill callback until it fires exactly once, or —
-// when ReadLine returns false — drops it immediately, so the carrier can be
+// loadFill is the recyclable completion carrier of an in-flight load
+// (event.Filler), handed to the L1D as the fill callback. The cache either
+// retains an accepted fill carrier until it fires exactly once, or — when
+// ReadLine returns false — drops it immediately, so the carrier can be
 // released at exactly those two points.
 type loadFill struct {
 	c          *CPU
 	t          *thread
 	seq, epoch uint64
-	fn         func(at uint64)
 }
 
-func (f *loadFill) done(at uint64) {
+// OnFill implements event.Filler: the load's line arrived.
+func (f *loadFill) OnFill(at uint64) {
 	c, t, seq, epoch := f.c, f.t, f.seq, f.epoch
 	f.t = nil
 	c.wake = true
@@ -277,6 +278,11 @@ func (f *loadFill) done(at uint64) {
 	}
 }
 
+// SnapRef implements event.RefMaker.
+func (f *loadFill) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCPULoadFill, Args: []uint64{uint64(f.t.id), f.seq, f.epoch}}
+}
+
 func (c *CPU) getLoadFill() *loadFill {
 	if n := len(c.freeLoadFills); n > 0 {
 		f := c.freeLoadFills[n-1]
@@ -284,22 +290,20 @@ func (c *CPU) getLoadFill() *loadFill {
 		c.freeLoadFills = c.freeLoadFills[:n-1]
 		return f
 	}
-	f := &loadFill{c: c}
-	f.fn = f.done
-	return f
+	return &loadFill{c: c}
 }
 
-// ifill is the recyclable I-cache fill callback (same lifecycle as loadFill:
+// ifill is the recyclable I-cache fill carrier (same lifecycle as loadFill:
 // retained only by an accepted miss, fires exactly once).
 type ifill struct {
 	c     *CPU
 	t     *thread
 	line  uint64
 	epoch uint64
-	fn    func(at uint64)
 }
 
-func (f *ifill) done(uint64) {
+// OnFill implements event.Filler: the instruction line arrived.
+func (f *ifill) OnFill(uint64) {
 	c, t, line, epoch := f.c, f.t, f.line, f.epoch
 	f.t = nil
 	c.wake = true
@@ -310,6 +314,11 @@ func (f *ifill) done(uint64) {
 	}
 }
 
+// SnapRef implements event.RefMaker.
+func (f *ifill) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCPUIFill, Args: []uint64{uint64(f.t.id), f.line, f.epoch}}
+}
+
 func (c *CPU) getIFill() *ifill {
 	if n := len(c.freeIFills); n > 0 {
 		f := c.freeIFills[n-1]
@@ -317,9 +326,7 @@ func (c *CPU) getIFill() *ifill {
 		c.freeIFills = c.freeIFills[:n-1]
 		return f
 	}
-	f := &ifill{c: c}
-	f.fn = f.done
-	return f
+	return &ifill{c: c}
 }
 
 // brEvent is the recyclable branch-resolution event (event.Handler); a
@@ -336,6 +343,11 @@ func (e *brEvent) OnEvent(at uint64) {
 	c.wake = true
 	c.freeBrEvents = append(c.freeBrEvents, e)
 	c.resolveBranch(at, t, seq, epoch)
+}
+
+// SnapRef implements event.RefMaker.
+func (e *brEvent) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KCPUBranch, Args: []uint64{uint64(e.t.id), e.seq, e.epoch}}
 }
 
 func (c *CPU) getBrEvent() *brEvent {
@@ -601,7 +613,7 @@ func (c *CPU) fetchThread(now uint64, t *thread, budget int) int {
 		if line != t.curILine {
 			f := c.getIFill()
 			f.t, f.line, f.epoch = t, line, t.epoch
-			hit, accepted := c.l1i.Probe(now, line, c.meta(t, false), f.fn)
+			hit, accepted := c.l1i.Probe(now, line, c.meta(t, false), f)
 			if hit || !accepted {
 				// The cache retains the callback only for an accepted miss.
 				f.t = nil
@@ -903,7 +915,7 @@ func (c *CPU) issueALU(now uint64, t *thread, u *uop) {
 func (c *CPU) issueLoad(now uint64, t *thread, u *uop) bool {
 	f := c.getLoadFill()
 	f.t, f.seq, f.epoch = t, u.seq, u.epoch
-	ok := c.l1d.ReadLine(now+1, u.in.Addr, c.meta(t, true), f.fn)
+	ok := c.l1d.ReadLine(now+1, u.in.Addr, c.meta(t, true), f)
 	if !ok {
 		f.t = nil
 		c.freeLoadFills = append(c.freeLoadFills, f)

@@ -21,11 +21,29 @@ type Handler interface {
 	OnEvent(now uint64)
 }
 
+// Filler is the completion-callback counterpart of Handler: a pending
+// continuation ("this miss's data arrives now") rather than a recurring
+// event. Keeping it a distinct interface lets one object carry both roles —
+// an MSHR's OnEvent retries issue while its OnFill delivers data — and,
+// because fillers are named objects instead of closures, lets the snapshot
+// codec describe scheduled completions by reference.
+type Filler interface {
+	OnFill(now uint64)
+}
+
+// FillFunc adapts a plain function to Filler, for tests and call sites that
+// are not on the snapshot path.
+type FillFunc func(now uint64)
+
+// OnFill implements Filler.
+func (f FillFunc) OnFill(now uint64) { f(now) }
+
 type item struct {
 	at  uint64
 	seq uint64 // tie-breaker: FIFO among equal cycles
 	fn  Func
 	h   Handler
+	f   Filler
 }
 
 const (
@@ -98,6 +116,14 @@ func (q *Queue) Schedule(at uint64, fn Func) {
 // handler object across millions of events without allocating.
 func (q *Queue) ScheduleHandler(at uint64, h Handler) {
 	q.push(item{at: at, h: h})
+}
+
+// ScheduleFiller registers f's OnFill to run at cycle at. Identical ordering
+// and hazard semantics to Schedule/ScheduleHandler; the separate entry point
+// exists so pending completions are typed objects the snapshot codec can
+// name.
+func (q *Queue) ScheduleFiller(at uint64, f Filler) {
+	q.push(item{at: at, f: f})
 }
 
 // push is the single insertion path behind Schedule and ScheduleHandler.
@@ -289,9 +315,12 @@ func (q *Queue) fire(it item) {
 	if it.at > q.firedAt {
 		q.firedAt = it.at
 	}
-	if it.h != nil {
+	switch {
+	case it.h != nil:
 		it.h.OnEvent(it.at)
-	} else {
+	case it.f != nil:
+		it.f.OnFill(it.at)
+	default:
 		it.fn(it.at)
 	}
 }

@@ -1,0 +1,161 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+
+	"smtdram/internal/snap"
+)
+
+// RefMaker is implemented by every object that can sit in the queue (as a
+// Handler or a Filler) and survive a snapshot: SnapRef returns the typed
+// descriptor the core resolver maps back to the equivalent live object
+// inside a freshly built simulator.
+type RefMaker interface {
+	SnapRef() snap.Ref
+}
+
+// Roles distinguish which interface a restored object is scheduled through,
+// so dual-role objects (an MSHR is both its retry Handler and its data
+// Filler) round-trip unambiguously.
+const (
+	RoleHandler uint8 = 0
+	RoleFiller  uint8 = 1
+)
+
+// Resolver maps a decoded reference (and the role it was recorded in) back
+// to the equivalent live object. The core simulator owns the production
+// implementation, dispatching on ref.Kind to the component that can rebuild
+// or look up the object.
+type Resolver func(ref *snap.Ref, role uint8) (any, error)
+
+const sectionQueue = 0x51455645 // "EVEQ"
+
+// Snapshot serializes the queue — counters and every pending event in exact
+// global (cycle, seq) order — into w. Events scheduled as raw closures
+// (Schedule/FillFunc) have no name to serialize and yield ErrUnsupported;
+// all production scheduling goes through Handler/Filler objects implementing
+// RefMaker.
+func (q *Queue) Snapshot(w *snap.Writer) error {
+	w.Marker(sectionQueue)
+	w.U64(q.base)
+	w.U64(q.seq)
+	w.U64(q.fired)
+	w.U64(q.firedAt)
+	w.U64(q.past)
+	w.U64(uint64(q.maxLen))
+
+	items := make([]item, 0, q.Len())
+	for s := range q.ring {
+		items = append(items, q.ring[s]...)
+	}
+	items = append(items, q.far...)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].at != items[j].at {
+			return items[i].at < items[j].at
+		}
+		return items[i].seq < items[j].seq
+	})
+
+	w.U64(uint64(len(items)))
+	for _, it := range items {
+		var (
+			role uint8
+			obj  any
+		)
+		switch {
+		case it.h != nil:
+			role, obj = RoleHandler, it.h
+		case it.f != nil:
+			role, obj = RoleFiller, it.f
+		default:
+			return fmt.Errorf("%w: raw closure event at cycle %d", snap.ErrUnsupported, it.at)
+		}
+		rm, ok := obj.(RefMaker)
+		if !ok {
+			return fmt.Errorf("%w: event object %T at cycle %d has no SnapRef", snap.ErrUnsupported, obj, it.at)
+		}
+		ref := rm.SnapRef()
+		w.U64(it.at)
+		w.U64(it.seq)
+		w.U8(role)
+		w.Ref(&ref)
+	}
+	return nil
+}
+
+// Restore rebuilds the queue from r, resolving each event's descriptor to a
+// live object via resolve (which must return a Handler for RoleHandler items
+// and a Filler for RoleFiller items). Counters, the drain cursor, and every
+// event's exact (cycle, seq) pair are restored verbatim, so the next drain
+// fires in precisely the order the snapshotted queue would have.
+func (q *Queue) Restore(r *snap.Reader, resolve Resolver) error {
+	q.Reset()
+	r.Expect(sectionQueue)
+	q.base = r.U64()
+	seq := r.U64()
+	fired := r.U64()
+	firedAt := r.U64()
+	past := r.U64()
+	maxLen := r.U64()
+	n := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		it := item{at: r.U64(), seq: r.U64()}
+		role := r.U8()
+		ref := r.Ref()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if ref == nil {
+			return fmt.Errorf("%w: event %d missing ref", snap.ErrCorrupt, i)
+		}
+		obj, err := resolve(ref, role)
+		if err != nil {
+			return fmt.Errorf("event %d (cycle %d): %w", i, it.at, err)
+		}
+		switch role {
+		case RoleHandler:
+			h, ok := obj.(Handler)
+			if !ok {
+				return fmt.Errorf("%w: resolved %T is not a Handler", snap.ErrCorrupt, obj)
+			}
+			it.h = h
+		case RoleFiller:
+			f, ok := obj.(Filler)
+			if !ok {
+				return fmt.Errorf("%w: resolved %T is not a Filler", snap.ErrCorrupt, obj)
+			}
+			it.f = f
+		default:
+			return fmt.Errorf("%w: event role %d", snap.ErrCorrupt, role)
+		}
+		q.place(it)
+	}
+	// Counters last: place must not disturb the restored values.
+	q.seq = seq
+	q.fired = fired
+	q.firedAt = firedAt
+	q.past = past
+	q.maxLen = int(maxLen)
+	return nil
+}
+
+// place inserts a restored item with its original seq, bypassing push's
+// sequence assignment and hazard accounting (both already restored).
+func (q *Queue) place(it item) {
+	if it.at >= q.base && it.at < q.base+ringWindow {
+		s := int(it.at & ringMask)
+		if q.ring[s] == nil {
+			q.initRing()
+		}
+		q.ring[s] = append(q.ring[s], it)
+		q.occ[s>>6] |= 1 << uint(s&63)
+		q.ringN++
+	} else {
+		q.far = append(q.far, it)
+		q.up(len(q.far) - 1)
+	}
+}

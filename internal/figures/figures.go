@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"smtdram/internal/addrmap"
+	"smtdram/internal/checkpoint"
 	"smtdram/internal/core"
 	"smtdram/internal/cpu"
 	"smtdram/internal/memctrl"
@@ -51,6 +52,13 @@ type Options struct {
 	// hooks it installs on the Config (e.g. Observe) fire on worker
 	// goroutines when Jobs > 1 and must be safe for concurrent use.
 	Configure func(*core.Config)
+	// Checkpoints, when non-nil, memoizes warmup across runs: every
+	// checkpointable simulation forks from a cached warmup-boundary machine
+	// state instead of re-simulating its warmup prefix (DESIGN §15). Results
+	// are byte-identical with or without it — the cache only changes
+	// wall-clock time. Share one cache across figures (and processes, when it
+	// is store-backed) to maximize reuse; nil disables memoization.
+	Checkpoints *checkpoint.Cache
 	// Ctx, when non-nil, cancels the sweep: simulations still queued on the
 	// pool resolve to ctx.Err() without running, and running ones abort at
 	// their next watchdog boundary, so a figure stops burning CPU shortly
@@ -117,9 +125,11 @@ func (o Options) newRun() *figRun {
 }
 
 // submitRun schedules one simulation on the pool under the run's context.
+// Runs route through the options' checkpoint cache (a nil cache runs plainly;
+// either way the result bytes are identical).
 func (r *figRun) submitRun(cfg core.Config) *runner.Future[core.Result] {
 	return runner.SubmitNamedCtx(r.pool, r.o.Ctx, cfg.Fingerprint(), func(ctx context.Context) (core.Result, error) {
-		return core.RunContext(ctx, cfg)
+		return r.o.Checkpoints.Run(ctx, cfg)
 	})
 }
 
@@ -137,11 +147,13 @@ func (r *figRun) baseline(app string) *runner.Future[float64] {
 		return runner.Resolved(v, nil)
 	}
 	ref := r.o.baseConfig(app) // the reference machine, always
+	ref.Apps = []string{app}   // what RunAlone would simulate, checkpoint-aware
 	f, _ := r.memo.GetCtx(r.pool, r.o.Ctx, key, func(ctx context.Context) (float64, error) {
-		v, err := core.RunAloneContext(ctx, ref, app)
+		res, err := r.o.Checkpoints.Run(ctx, ref)
 		if err != nil {
 			return 0, err
 		}
+		v := res.IPC[0]
 		r.mu.Lock()
 		r.o.Baselines[key] = v
 		r.mu.Unlock()
@@ -228,7 +240,7 @@ func Fig1(o Options) ([]Fig1Row, error) {
 	for i, app := range apps {
 		for k, cfg := range core.CPIBreakdownConfigs(o.baseConfig(app), app) {
 			jobs[i][k] = runner.SubmitNamedCtx(r.pool, o.Ctx, cfg.Fingerprint(), func(ctx context.Context) (float64, error) {
-				res, err := core.RunContext(ctx, cfg)
+				res, err := o.Checkpoints.Run(ctx, cfg)
 				if err != nil {
 					return 0, err
 				}

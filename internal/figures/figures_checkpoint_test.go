@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"smtdram/internal/checkpoint"
+	"smtdram/internal/core"
+	"smtdram/internal/workload"
+)
+
+// TestFig6RowsIdenticalWithCheckpoints: a full figure regenerated through the
+// warmup-checkpoint cache is identical to one computed plainly — the cache
+// changes wall-clock time and nothing else. This is the figure-level face of
+// core's checkpoint equivalence suite.
+func TestFig6RowsIdenticalWithCheckpoints(t *testing.T) {
+	mk := func(ckpts *checkpoint.Cache) []Fig6Row {
+		o := Options{Warmup: 10_000, Target: 10_000, Seed: 42,
+			Jobs: runtime.GOMAXPROCS(0), Checkpoints: ckpts}
+		rows, err := Fig6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	plain := mk(nil)
+	ckpts := checkpoint.New()
+	cached := mk(ckpts)
+	if !reflect.DeepEqual(plain, cached) {
+		t.Fatalf("checkpointed figure diverged\nplain:  %+v\ncached: %+v", plain, cached)
+	}
+	st := ckpts.Snapshot()
+	if st.Misses == 0 || st.Forks == 0 {
+		t.Fatalf("cache counters = %+v; the cached sweep never used the cache", st)
+	}
+	if st.Bypassed != 0 {
+		t.Fatalf("cache counters = %+v; figure configs must all be checkpointable", st)
+	}
+}
+
+// TestFig6SweepSimcyclesPerPoint pins the tentpole invariant at sweep-point
+// granularity: across the standard Figure 6 grid (every mix × every channel
+// count), a run forked from a warmup checkpoint reports exactly the simulated
+// cycle count of an uninterrupted run, point by point. The summed total is
+// logged for the CI checkpoint-smoke gate, which pins it the way bench-smoke
+// pins 225974/968233.
+func TestFig6SweepSimcyclesPerPoint(t *testing.T) {
+	ctx := context.Background()
+	ckpts := checkpoint.New()
+	channels := []int{2, 4, 8}
+	prefixes := map[string]bool{}
+	var points int
+	var total uint64
+	for _, m := range workload.Mixes() {
+		for _, ch := range channels {
+			cfg := core.DefaultConfig(m.Apps...)
+			cfg.WarmupInstr, cfg.TargetInstr, cfg.Seed = 10_000, 10_000, 42
+			cfg.Mem.PhysChannels = ch
+			prefixes[cfg.WarmupFingerprint()] = true
+
+			cold, err := core.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%dch cold: %v", m.Name, ch, err)
+			}
+			warm, err := ckpts.Run(ctx, cfg)
+			if err != nil {
+				t.Fatalf("%s/%dch warm: %v", m.Name, ch, err)
+			}
+			if cold.Cycles != warm.Cycles {
+				t.Fatalf("%s/%dch: simcycles diverged: cold=%d warm=%d",
+					m.Name, ch, cold.Cycles, warm.Cycles)
+			}
+			points++
+			total += cold.Cycles
+		}
+	}
+	st := ckpts.Snapshot()
+	if st.Misses != uint64(len(prefixes)) || st.Forks != uint64(points) {
+		t.Fatalf("cache counters = %+v, want %d misses and %d forks", st, len(prefixes), points)
+	}
+	t.Logf("fig6 sweep: %d points, total simcycles = %d", points, total)
+}

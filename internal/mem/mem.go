@@ -68,6 +68,11 @@ type Request struct {
 	// transferred. For writes this fires when the write has been issued to
 	// the DRAM; nobody usually waits on it.
 	OnComplete func(now uint64)
+	// Src, when set by the issuer, points back at the issuer-owned wrapper
+	// that carries this request. It is opaque to the controller; the snapshot
+	// codec uses it to name in-flight requests the controller only holds as
+	// *Request.
+	Src any
 }
 
 // IsRead reports whether the request is a line fill.

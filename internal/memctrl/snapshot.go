@@ -1,0 +1,263 @@
+package memctrl
+
+// Snapshot/Restore for the memory controller (DESIGN §15). Queued entries
+// serialize as their request's reference (the request wrapper lives in the
+// cache backend; entry.loc is re-decoded through the mapper on restore);
+// dispatched entries sit in the event queue as their own completion handlers
+// and round-trip as KMemEntry references. Fault-injection runs arm events
+// (backoff retries, channel failover) whose mid-flight state the codec does
+// not model, so controllers with an injector attached refuse to snapshot.
+
+import (
+	"fmt"
+
+	"smtdram/internal/event"
+	"smtdram/internal/mem"
+	"smtdram/internal/snap"
+)
+
+const sectionCtrl = 0x4D435452 // "MCTR"
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SnapRef implements event.RefMaker for a dispatched entry: the channel it is
+// in flight on, its scheduling identity, and (nested) the request it carries.
+func (e *entry) SnapRef() snap.Ref {
+	ref := snap.Ref{Kind: snap.KMemEntry, Args: []uint64{
+		uint64(e.loc.Channel), e.seq, uint64(e.queuedBehind),
+		uint64(e.attempt), b2u(e.backoff),
+	}}
+	inner := snap.Ref{Kind: snap.KNone}
+	if rm, ok := e.req.Src.(event.RefMaker); ok {
+		inner = rm.SnapRef()
+	}
+	ref.Inner = &inner
+	return ref
+}
+
+// SnapRef implements event.RefMaker for the bank-ready wake-up.
+func (r *retryEvent) SnapRef() snap.Ref {
+	ch := uint64(0)
+	for i, cc := range r.c.channels {
+		if cc == r.cc {
+			ch = uint64(i)
+		}
+	}
+	return snap.Ref{Kind: snap.KMemRetry, Args: []uint64{ch}}
+}
+
+// SnapRef implements event.RefMaker for the planned channel-death event.
+func (f *failoverEvent) SnapRef() snap.Ref {
+	return snap.Ref{Kind: snap.KMemFailover}
+}
+
+// Snapshot serializes the controller's mutable state: scheduling sequence,
+// concurrency accounting, stats, and per channel the DRAM device state, the
+// in-flight window, the armed retry, and the queued entries.
+func (c *Controller) Snapshot(w *snap.Writer) error {
+	if c.inj != nil {
+		return fmt.Errorf("%w: controller has a fault injector attached", snap.ErrUnsupported)
+	}
+	w.Marker(sectionCtrl)
+	w.U64(c.seq)
+	w.U64(c.lastChange)
+	w.I64(int64(c.totalOut))
+	w.I64(int64(c.threadsBusy))
+	w.U64(uint64(len(c.outstanding)))
+	for _, o := range c.outstanding {
+		w.I64(int64(o))
+	}
+	w.U64(c.Stats.Reads)
+	w.U64(c.Stats.Writes)
+	w.U64(c.Stats.Rejected)
+	w.U64(c.Stats.ReadLatencySum)
+	for _, v := range c.Stats.ThreadReads {
+		w.U64(v)
+	}
+	for _, v := range c.Stats.ThreadReadLatencySum {
+		w.U64(v)
+	}
+	for _, v := range c.Stats.OutstandingHist {
+		w.U64(v)
+	}
+	for _, v := range c.Stats.ThreadSpreadHist {
+		w.U64(v)
+	}
+	w.U64(c.Stats.Retries)
+	w.U64(c.Stats.RetryGiveUps)
+	w.U64(c.Stats.FailedOver)
+
+	w.U64(uint64(len(c.channels)))
+	for _, cc := range c.channels {
+		if err := cc.dev.Snapshot(w); err != nil {
+			return err
+		}
+		w.I64(int64(cc.inFlight))
+		w.Bool(cc.retryArmed)
+		w.U64(cc.retryWakeAt)
+		w.U64(uint64(len(cc.doneTimes)))
+		for _, d := range cc.doneTimes {
+			w.U64(d)
+		}
+		w.U64(uint64(len(cc.queue)))
+		for _, e := range cc.queue {
+			rm, ok := e.req.Src.(event.RefMaker)
+			if !ok {
+				return fmt.Errorf("%w: queued request source %T has no SnapRef", snap.ErrUnsupported, e.req.Src)
+			}
+			ref := rm.SnapRef()
+			w.U64(e.seq)
+			w.I64(int64(e.queuedBehind))
+			w.Ref(&ref)
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds the controller's mutable state from r into a controller
+// built from the identical Config. Queued requests are resolved through
+// resolve (reaching the cache backend's request pool) and their locations
+// re-decoded through the mapper.
+func (c *Controller) Restore(r *snap.Reader, resolve event.Resolver) error {
+	r.Expect(sectionCtrl)
+	c.seq = r.U64()
+	c.lastChange = r.U64()
+	c.totalOut = int(r.I64())
+	c.threadsBusy = int(r.I64())
+	nOut := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nOut != uint64(len(c.outstanding)) {
+		return fmt.Errorf("%w: snapshot has %d threads, controller has %d", snap.ErrCorrupt, nOut, len(c.outstanding))
+	}
+	for i := range c.outstanding {
+		c.outstanding[i] = int(r.I64())
+	}
+	c.Stats.Reads = r.U64()
+	c.Stats.Writes = r.U64()
+	c.Stats.Rejected = r.U64()
+	c.Stats.ReadLatencySum = r.U64()
+	for i := range c.Stats.ThreadReads {
+		c.Stats.ThreadReads[i] = r.U64()
+	}
+	for i := range c.Stats.ThreadReadLatencySum {
+		c.Stats.ThreadReadLatencySum[i] = r.U64()
+	}
+	for i := range c.Stats.OutstandingHist {
+		c.Stats.OutstandingHist[i] = r.U64()
+	}
+	for i := range c.Stats.ThreadSpreadHist {
+		c.Stats.ThreadSpreadHist[i] = r.U64()
+	}
+	c.Stats.Retries = r.U64()
+	c.Stats.RetryGiveUps = r.U64()
+	c.Stats.FailedOver = r.U64()
+
+	nCh := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nCh != uint64(len(c.channels)) {
+		return fmt.Errorf("%w: snapshot has %d channels, controller has %d", snap.ErrCorrupt, nCh, len(c.channels))
+	}
+	for _, cc := range c.channels {
+		if err := cc.dev.Restore(r); err != nil {
+			return err
+		}
+		cc.inFlight = int(r.I64())
+		cc.retryArmed = r.Bool()
+		cc.retryWakeAt = r.U64()
+		nDone := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		cc.doneTimes = cc.doneTimes[:0]
+		for i := uint64(0); i < nDone; i++ {
+			cc.doneTimes = append(cc.doneTimes, r.U64())
+		}
+		nQ := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		cc.queue = cc.queue[:0]
+		for i := uint64(0); i < nQ; i++ {
+			seq := r.U64()
+			queuedBehind := int(r.I64())
+			ref := r.Ref()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if ref == nil {
+				return fmt.Errorf("%w: queued entry missing request ref", snap.ErrCorrupt)
+			}
+			obj, err := resolve(ref, event.RoleHandler)
+			if err != nil {
+				return fmt.Errorf("queued entry seq %d: %w", seq, err)
+			}
+			req, ok := obj.(*mem.Request)
+			if !ok {
+				return fmt.Errorf("%w: queued entry resolved to %T, want *mem.Request", snap.ErrCorrupt, obj)
+			}
+			e := c.getEntry()
+			e.req, e.loc = req, c.mapper.Map(req.Addr)
+			e.seq, e.queuedBehind = seq, queuedBehind
+			cc.queue = append(cc.queue, e)
+		}
+	}
+	return r.Err()
+}
+
+// ResolveRef maps controller-kind references back to live objects: dispatched
+// entries are rebuilt from the pool with their request resolved through
+// resolve; bank-ready retries and the failover event resolve to the pre-bound
+// per-channel/per-controller instances.
+func (c *Controller) ResolveRef(ref *snap.Ref, resolve event.Resolver) (any, error) {
+	switch ref.Kind {
+	case snap.KMemEntry:
+		if len(ref.Args) != 5 {
+			return nil, fmt.Errorf("%w: entry ref needs 5 args, got %d", snap.ErrCorrupt, len(ref.Args))
+		}
+		if ref.Args[4] != 0 {
+			return nil, fmt.Errorf("%w: entry parked in retry backoff", snap.ErrUnsupported)
+		}
+		ch := ref.Args[0]
+		if ch >= uint64(len(c.channels)) {
+			return nil, fmt.Errorf("%w: entry ref channel %d out of range", snap.ErrCorrupt, ch)
+		}
+		if ref.Inner == nil {
+			return nil, fmt.Errorf("%w: entry ref missing request", snap.ErrCorrupt)
+		}
+		obj, err := resolve(ref.Inner, event.RoleHandler)
+		if err != nil {
+			return nil, err
+		}
+		req, ok := obj.(*mem.Request)
+		if !ok {
+			return nil, fmt.Errorf("%w: entry request resolved to %T, want *mem.Request", snap.ErrCorrupt, obj)
+		}
+		e := c.getEntry()
+		e.req, e.loc = req, c.mapper.Map(req.Addr)
+		if e.loc.Channel != int(ch) {
+			return nil, fmt.Errorf("%w: entry ref channel %d, mapper says %d", snap.ErrCorrupt, ch, e.loc.Channel)
+		}
+		e.seq, e.queuedBehind = ref.Args[1], int(ref.Args[2])
+		e.attempt = uint8(ref.Args[3])
+		e.cc = c.channels[ch]
+		return e, nil
+	case snap.KMemRetry:
+		if len(ref.Args) != 1 || ref.Args[0] >= uint64(len(c.channels)) {
+			return nil, fmt.Errorf("%w: retry ref channel out of range", snap.ErrCorrupt)
+		}
+		return &c.channels[ref.Args[0]].retry, nil
+	case snap.KMemFailover:
+		return &c.failover, nil
+	default:
+		return nil, fmt.Errorf("%w: ref kind %d is not a memctrl kind", snap.ErrCorrupt, ref.Kind)
+	}
+}

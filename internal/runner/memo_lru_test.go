@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMemoCapEvictsLRU: with a cap installed, an overflowing insertion sheds
+// the least-recently-*touched* resolved entry — a Get that joins a cached
+// entry refreshes its recency — and eviction is observable both through the
+// counter and through the evicted key recomputing on its next Get.
+func TestMemoCapEvictsLRU(t *testing.T) {
+	p := New(4)
+	var memo Memo[string, int]
+	memo.SetCap(2)
+
+	var computes atomic.Int32
+	get := func(key string) int {
+		v, err := memo.Get(p, key, func() (int, error) {
+			computes.Add(1)
+			return len(key), nil
+		}).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	get("a")
+	get("bb")
+	get("a")   // touch: "bb" is now the LRU entry
+	get("ccc") // overflow: evicts "bb"
+	if got := memo.Evictions(); got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+	if got := memo.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+
+	before := computes.Load()
+	if v := get("a"); v != 1 {
+		t.Fatalf("a = %d", v)
+	}
+	if computes.Load() != before {
+		t.Fatal("touched entry 'a' was evicted; LRU order ignores recency")
+	}
+	if v := get("bb"); v != 2 {
+		t.Fatalf("bb = %d", v)
+	}
+	if computes.Load() != before+1 {
+		t.Fatal("evicted entry 'bb' did not recompute")
+	}
+}
+
+// TestMemoCapNeverEvictsInFlight: running work survives any cap pressure —
+// the memo transiently exceeds its cap instead — and resolved entries around
+// it are shed first.
+func TestMemoCapNeverEvictsInFlight(t *testing.T) {
+	p := NewPooled(2)
+	var memo Memo[string, int]
+	memo.SetCap(1)
+
+	var release sync.WaitGroup
+	release.Add(1)
+	var flightRuns atomic.Int32
+	inflight := memo.Get(p, "inflight", func() (int, error) {
+		flightRuns.Add(1)
+		release.Wait()
+		return 10, nil
+	})
+
+	// A resolved entry lands next to the airborne one: over cap, but the
+	// flight must not be the victim.
+	if v, err := memo.Get(p, "resolved", func() (int, error) { return 20, nil }).Wait(); v != 20 || err != nil {
+		t.Fatalf("resolved = %d, %v", v, err)
+	}
+
+	// Another insertion forces eviction; the only eligible victim is
+	// "resolved".
+	if v, err := memo.Get(p, "next", func() (int, error) { return 30, nil }).Wait(); v != 30 || err != nil {
+		t.Fatalf("next = %d, %v", v, err)
+	}
+	if memo.Evictions() == 0 {
+		t.Fatal("no eviction despite resolved entries over cap")
+	}
+
+	release.Done()
+	if v, err := inflight.Wait(); v != 10 || err != nil {
+		t.Fatalf("inflight = %d, %v", v, err)
+	}
+	// The in-flight entry is still cached: a later Get joins it.
+	if v, err := memo.Get(p, "inflight", func() (int, error) { return -1, nil }).Wait(); v != 10 || err != nil {
+		t.Fatalf("post-flight join = %d, %v", v, err)
+	}
+	if got := flightRuns.Load(); got != 1 {
+		t.Fatalf("in-flight entry ran %d times; eviction touched running work", got)
+	}
+}
+
+// TestMemoCapZeroIsUnbounded: the default (and an explicit SetCap(0)) never
+// evicts.
+func TestMemoCapZeroIsUnbounded(t *testing.T) {
+	p := New(2)
+	var memo Memo[int, int]
+	memo.SetCap(0)
+	for i := 0; i < 64; i++ {
+		i := i
+		if _, err := memo.Get(p, i, func() (int, error) { return i, nil }).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := memo.Evictions(); got != 0 {
+		t.Fatalf("unbounded memo evicted %d entries", got)
+	}
+	if got := memo.Len(); got != 64 {
+		t.Fatalf("Len = %d, want 64", got)
+	}
+}
+
+// TestMemoCapLoweredShedsOnNextInsert: SetCap is lazy by contract — an
+// over-cap memo sheds down to its bound at the next insertion, not at SetCap.
+func TestMemoCapLoweredShedsOnNextInsert(t *testing.T) {
+	p := New(2)
+	var memo Memo[int, int]
+	for i := 0; i < 8; i++ {
+		i := i
+		memo.Get(p, i, func() (int, error) { return i, nil }).Wait()
+	}
+	memo.SetCap(3)
+	if got := memo.Len(); got != 8 {
+		t.Fatalf("SetCap evicted immediately: Len = %d, want 8", got)
+	}
+	memo.Get(p, 100, func() (int, error) { return 100, nil }).Wait()
+	if got := memo.Len(); got != 3 {
+		t.Fatalf("Len after overflow insert = %d, want 3", got)
+	}
+	if got := memo.Evictions(); got != 6 {
+		t.Fatalf("Evictions = %d, want 6", got)
+	}
+}

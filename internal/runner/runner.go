@@ -215,9 +215,77 @@ func SubmitNamedCtx[T any](p *Pool, ctx context.Context, name string, fn func(co
 // forgotten the moment it fails: concurrent Gets already holding the future
 // still see the failure (that flight is shared), but a later Get with the
 // same key re-executes instead of replaying a stale error forever.
+// A Memo is unbounded by default; SetCap bounds it, evicting the
+// least-recently-used *resolved* entry when an insertion overflows the cap.
+// In-flight futures are never evicted (they represent running work whose
+// waiters hold the future anyway), so a memo can transiently exceed its cap
+// while more than cap flights are airborne.
 type Memo[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*Future[V]
+	// use is each key's last-touch stamp from clock, the LRU order.
+	use   map[K]uint64
+	clock uint64
+	cap   int
+	// evicted counts cap-driven removals over the memo's lifetime.
+	evicted uint64
+}
+
+// SetCap bounds the memo to n entries with LRU eviction of resolved futures
+// (n <= 0 restores the unbounded default). Safe to call at any time; an
+// over-cap memo sheds entries on subsequent insertions, not immediately.
+func (m *Memo[K, V]) SetCap(n int) {
+	m.mu.Lock()
+	m.cap = n
+	m.mu.Unlock()
+}
+
+// Evictions reports how many entries the cap has evicted.
+func (m *Memo[K, V]) Evictions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
+// resolvedForEvict reports whether the future has a value (or error) and no
+// pending execution — the only state eviction may discard. Pooled futures
+// answer via their done channel; lazy and pre-resolved futures via fn.
+func (f *Future[T]) resolvedForEvict() bool {
+	if f.done != nil {
+		select {
+		case <-f.done:
+			return true
+		default:
+			return false
+		}
+	}
+	return f.fn == nil
+}
+
+// evictLocked sheds least-recently-used resolved entries until the memo fits
+// its cap. Caller holds m.mu.
+func (m *Memo[K, V]) evictLocked() {
+	for m.cap > 0 && len(m.m) > m.cap {
+		var (
+			victim    K
+			victimUse uint64
+			found     bool
+		)
+		for k, f := range m.m {
+			if !f.resolvedForEvict() {
+				continue
+			}
+			if u := m.use[k]; !found || u < victimUse {
+				victim, victimUse, found = k, u, true
+			}
+		}
+		if !found {
+			return // everything in flight: stay over cap rather than drop work
+		}
+		delete(m.m, victim)
+		delete(m.use, victim)
+		m.evicted++
+	}
 }
 
 // Get returns the future for key, submitting fn on p only on the first call.
@@ -237,8 +305,11 @@ func (m *Memo[K, V]) GetCtx(p *Pool, ctx context.Context, key K, fn func(context
 	defer m.mu.Unlock()
 	if m.m == nil {
 		m.m = make(map[K]*Future[V])
+		m.use = make(map[K]uint64)
 	}
+	m.clock++
 	if f, ok := m.m[key]; ok {
+		m.use[key] = m.clock
 		return f, false
 	}
 	f = SubmitCtx(p, ctx, func(ctx context.Context) (V, error) {
@@ -255,6 +326,8 @@ func (m *Memo[K, V]) GetCtx(p *Pool, ctx context.Context, key K, fn func(context
 		return v, err
 	})
 	m.m[key] = f
+	m.use[key] = m.clock
+	m.evictLocked()
 	return f, true
 }
 
@@ -265,6 +338,7 @@ func (m *Memo[K, V]) GetCtx(p *Pool, ctx context.Context, key K, fn func(context
 func (m *Memo[K, V]) Forget(key K) {
 	m.mu.Lock()
 	delete(m.m, key)
+	delete(m.use, key)
 	m.mu.Unlock()
 }
 

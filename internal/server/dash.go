@@ -55,6 +55,8 @@ const dashHTML = `<!doctype html>
     <div class="sub" id="servedDetail"></div><svg class="spark" id="sparkP95"></svg></div>
   <div class="card"><h2>Skip rate</h2><div class="big" id="skipRate">–</div>
     <div class="sub" id="skipDetail"></div><svg class="spark" id="sparkSkip"></svg></div>
+  <div class="card"><h2>Warmup checkpoints</h2><div class="big" id="ckptRatio">–</div>
+    <div class="sub" id="ckptDetail"></div></div>
   <div class="card"><h2>Durable store</h2><div class="big" id="storeState">–</div>
     <div class="sub" id="storeDetail"></div></div>
   <div class="card"><h2>Jobs</h2>
@@ -104,6 +106,12 @@ function render(st) {
   document.getElementById("skipRate").textContent = fmt(st.skip.rate * 100, 1) + "%";
   document.getElementById("skipDetail").textContent =
     st.skip.sim_runs + " runs, " + st.skip.cycles_skipped + " of " + st.skip.cycles_wall + " cycles fast-forwarded";
+  const ck = st.checkpoint;
+  document.getElementById("ckptRatio").textContent = fmt(ck.hit_ratio * 100, 1) + "%";
+  document.getElementById("ckptDetail").textContent =
+    ck.hits + " hits / " + ck.misses + " misses / " + ck.forks + " forks · " +
+    ck.entries + " entries" + (ck.bypassed ? " · " + ck.bypassed + " bypassed" : "") +
+    (ck.evictions ? " · " + ck.evictions + " evicted" : "");
   const sst = st.store, rec = st.recovery;
   document.getElementById("storeState").textContent =
     !sst.configured ? "memory-only" : (sst.degraded ? "DEGRADED" : sst.entries + " entries");

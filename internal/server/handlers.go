@@ -254,6 +254,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.syncCheckpointMetrics() // fold the checkpoint cache's tallies in first
 	s.metricsMu.Lock()
 	defer s.metricsMu.Unlock()
 	_ = s.reg.WritePrometheus(w, "smtdram", uint64(time.Since(s.startedAt)/time.Second))

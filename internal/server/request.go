@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"smtdram/internal/addrmap"
+	"smtdram/internal/checkpoint"
 	"smtdram/internal/core"
 	"smtdram/internal/cpu"
 	"smtdram/internal/dram"
@@ -160,9 +161,11 @@ func (r FigRequest) validate() error {
 
 // run executes the figure sweep with the given internal parallelism, writing
 // the rendered table to w. ctx aborts the sweep: queued simulations never
-// run, and running ones stop at their next watchdog boundary.
-func (r FigRequest) run(ctx context.Context, jobs int, w io.Writer) error {
-	o := figures.Options{Warmup: r.Warmup, Target: r.Target, Seed: r.Seed, Jobs: jobs, Ctx: ctx}
+// run, and running ones stop at their next watchdog boundary. ckpts is the
+// daemon's warmup-checkpoint cache (nil runs every point cold); output is
+// byte-identical either way.
+func (r FigRequest) run(ctx context.Context, jobs int, w io.Writer, ckpts *checkpoint.Cache) error {
+	o := figures.Options{Warmup: r.Warmup, Target: r.Target, Seed: r.Seed, Jobs: jobs, Ctx: ctx, Checkpoints: ckpts}
 	switch r.Fig {
 	case "table2":
 		figures.PrintTable2(w)

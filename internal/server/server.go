@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smtdram/internal/checkpoint"
 	"smtdram/internal/core"
 	"smtdram/internal/obs"
 	"smtdram/internal/runner"
@@ -84,6 +85,13 @@ type Config struct {
 	// into the kernel; FsyncAlways additionally survives OS crash and power
 	// loss.
 	Fsync store.FsyncPolicy
+	// CheckpointDir persists warmup checkpoints (DESIGN §15) under its own
+	// content-addressed store, so figure sweeps fork warm re-runs across
+	// daemon restarts. Empty keeps warmup memoization in-memory only.
+	CheckpointDir string
+	// CheckpointEntries bounds the in-memory checkpoint tier (default 64;
+	// 0 keeps the default, negative removes the bound).
+	CheckpointEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpanCapacity <= 0 {
 		c.SpanCapacity = 8192
+	}
+	if c.CheckpointEntries == 0 {
+		c.CheckpointEntries = 64
 	}
 	return c
 }
@@ -277,6 +288,10 @@ type Server struct {
 	cache     *lruCache
 	startedAt time.Time
 
+	// checkpoints memoizes warmup prefixes for the figure-sweep path
+	// (DESIGN §15); always non-nil, store-backed when CheckpointDir is set.
+	checkpoints *checkpoint.Cache
+
 	// Durability layer (durable.go). store/journal are nil when DataDir is
 	// empty or opening failed; storeWanted distinguishes "memory-only by
 	// choice" from "degraded". recovered and the recN counts are written
@@ -331,6 +346,14 @@ type Server struct {
 	mStoreWriteErrors *obs.Counter
 	mJournalRecords   *obs.Counter
 	mJournalErrors    *obs.Counter
+	// Warmup-checkpoint counters mirror the checkpoint cache's internal
+	// tallies into the registry; syncCheckpointMetrics folds the deltas in
+	// before every render so /metrics keeps counter semantics.
+	mCkptHits      *obs.Counter
+	mCkptMisses    *obs.Counter
+	mCkptForks     *obs.Counter
+	mCkptBypassed  *obs.Counter
+	mCkptEvictions *obs.Counter
 	// End-to-end latency splits by how the job was answered: served (a real
 	// run, or joining one) vs cache (answered from the LRU). Folding both
 	// into one histogram would poison the percentiles — cache hits are ~0 ms.
@@ -365,6 +388,21 @@ func New(cfg Config) *Server {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.spans = obs.NewSpanner(cfg.SpanCapacity)
+
+	// Warmup-checkpoint cache: memory-only by default, store-backed when a
+	// checkpoint directory is configured. An unopenable directory degrades to
+	// memory-only memoization rather than refusing to serve.
+	s.checkpoints = checkpoint.New()
+	if cfg.CheckpointDir != "" {
+		if c, err := checkpoint.Open(cfg.CheckpointDir, cfg.Fsync); err != nil {
+			s.log.Warn("checkpoint store unavailable; memoizing warmups in memory only", "dir", cfg.CheckpointDir, "err", err)
+		} else {
+			s.checkpoints = c
+		}
+	}
+	if cfg.CheckpointEntries > 0 {
+		s.checkpoints.SetCap(cfg.CheckpointEntries)
+	}
 
 	msBounds := []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
 	usBounds := []uint64{
@@ -423,6 +461,14 @@ func New(cfg Config) *Server {
 	s.mStoreWriteErrors = s.reg.Counter("store_write_errors_total")
 	s.mJournalRecords = s.reg.Counter("journal_records_total")
 	s.mJournalErrors = s.reg.Counter("journal_errors_total")
+	s.mCkptHits = s.reg.Counter("checkpoint_hits_total")
+	s.mCkptMisses = s.reg.Counter("checkpoint_misses_total")
+	s.mCkptForks = s.reg.Counter("checkpoint_forks_total")
+	s.mCkptBypassed = s.reg.Counter("checkpoint_bypassed_total")
+	s.mCkptEvictions = s.reg.Counter("checkpoint_evictions_total")
+	s.reg.Gauge("checkpoint_entries", func(uint64) float64 {
+		return float64(s.checkpoints.Snapshot().Entries)
+	})
 	s.reg.Gauge("store_entries", func(uint64) float64 {
 		if s.store == nil {
 			return 0
@@ -444,6 +490,22 @@ func New(cfg Config) *Server {
 
 // count increments a server counter; counters are atomic, so no lock.
 func (s *Server) count(c *obs.Counter) { c.Inc() }
+
+// syncCheckpointMetrics folds the checkpoint cache's internal tallies into
+// the registry counters and returns the snapshot. Both sides are monotonic,
+// so adding the delta under metricsMu preserves counter semantics however
+// many renders race the cache's own increments.
+func (s *Server) syncCheckpointMetrics() checkpoint.Stats {
+	st := s.checkpoints.Snapshot()
+	s.metricsMu.Lock()
+	s.mCkptHits.Add(st.Hits - s.mCkptHits.Value())
+	s.mCkptMisses.Add(st.Misses - s.mCkptMisses.Value())
+	s.mCkptForks.Add(st.Forks - s.mCkptForks.Value())
+	s.mCkptBypassed.Add(st.Bypassed - s.mCkptBypassed.Value())
+	s.mCkptEvictions.Add(st.Evictions - s.mCkptEvictions.Value())
+	s.metricsMu.Unlock()
+	return st
+}
 
 // usOf converts a duration to whole non-negative microseconds.
 func usOf(d time.Duration) uint64 {
@@ -966,7 +1028,7 @@ func (s *Server) figFlightFn(fl *flight, req FigRequest) func(context.Context) (
 		defer s.busy.Add(-1)
 		s.count(s.mFigsRun)
 		var buf bytes.Buffer
-		if err := req.run(ctx, s.pool.Jobs(), &buf); err != nil {
+		if err := req.run(ctx, s.pool.Jobs(), &buf, s.checkpoints); err != nil {
 			return nil, err
 		}
 		return json.Marshal(struct {

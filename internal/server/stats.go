@@ -111,6 +111,20 @@ type Stats struct {
 		CyclesWall    uint64  `json:"cycles_wall"`
 		Rate          float64 `json:"rate"`
 	} `json:"skip"`
+	// Checkpoint is the warmup-memoization layer (DESIGN §15) behind the
+	// figure-sweep path: hits are warmup prefixes served from a cached
+	// machine state, misses are warmups actually simulated, forks are
+	// measurement phases started from a checkpoint, and bypassed counts runs
+	// whose configuration cannot checkpoint.
+	Checkpoint struct {
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		Forks     uint64  `json:"forks"`
+		Bypassed  uint64  `json:"bypassed"`
+		Evictions uint64  `json:"evictions"`
+		Entries   int     `json:"entries"`
+		HitRatio  float64 `json:"hit_ratio"`
+	} `json:"checkpoint"`
 	PoolWait LatencySummary `json:"pool_wait"`
 	Trace    struct {
 		Spans   int    `json:"spans"`
@@ -152,6 +166,16 @@ func (s *Server) statsSnapshot() Stats {
 	st.Skip.CyclesWall = s.mCyclesWall.Value()
 	if st.Skip.CyclesWall > 0 {
 		st.Skip.Rate = float64(st.Skip.CyclesSkipped) / float64(st.Skip.CyclesWall)
+	}
+	ck := s.syncCheckpointMetrics()
+	st.Checkpoint.Hits = ck.Hits
+	st.Checkpoint.Misses = ck.Misses
+	st.Checkpoint.Forks = ck.Forks
+	st.Checkpoint.Bypassed = ck.Bypassed
+	st.Checkpoint.Evictions = ck.Evictions
+	st.Checkpoint.Entries = ck.Entries
+	if lookups := ck.Hits + ck.Misses; lookups > 0 {
+		st.Checkpoint.HitRatio = float64(ck.Hits) / float64(lookups)
 	}
 
 	s.mu.Lock()

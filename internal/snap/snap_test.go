@@ -1,0 +1,345 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+const (
+	testMagic   = "TEST"
+	testVersion = 3
+)
+
+// buildFrame seals a payload exercising every field type the codec offers.
+func buildFrame() []byte {
+	w := &Writer{}
+	w.Marker(0x5EC7)
+	w.U8(0xAB)
+	w.U64(0)
+	w.U64(1<<63 + 12345)
+	w.I64(-987654321)
+	w.I64(0)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte{1, 2, 3, 0xFF})
+	w.Bytes(nil)
+	w.String("warmup prefix")
+	w.Ref(nil)
+	w.Ref(&Ref{Kind: KMemEntry, Args: []uint64{7, 8, 9},
+		Inner: &Ref{Kind: KMemBackendReq, Args: []uint64{1, 0xDEAD, 0, Zig(-3), 1, 42},
+			Inner: &Ref{Kind: KCPULoadFill, Args: []uint64{2, 77, 1}}}})
+	return w.Frame(testMagic, testVersion)
+}
+
+// readFrame decodes what buildFrame wrote, returning the reader for Err/Done.
+func readFrame(t *testing.T, frame []byte) *Reader {
+	t.Helper()
+	r, err := NewReader(frame, testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Expect(0x5EC7)
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("U64 zero = %d", got)
+	}
+	if got := r.U64(); got != 1<<63+12345 {
+		t.Fatalf("U64 big = %d", got)
+	}
+	if got := r.I64(); got != -987654321 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.I64(); got != 0 {
+		t.Fatalf("I64 zero = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip broke")
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3, 0xFF}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Fatalf("empty Bytes = %v", got)
+	}
+	if got := r.String(); got != "warmup prefix" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Ref(); got != nil {
+		t.Fatalf("nil Ref = %+v", got)
+	}
+	ref := r.Ref()
+	if ref == nil || ref.Kind != KMemEntry || len(ref.Args) != 3 ||
+		ref.Inner == nil || ref.Inner.Kind != KMemBackendReq ||
+		Unzig(ref.Inner.Args[3]) != -3 ||
+		ref.Inner.Inner == nil || ref.Inner.Inner.Kind != KCPULoadFill {
+		t.Fatalf("nested Ref round-trip broke: %+v", ref)
+	}
+	return r
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	r := readFrame(t, buildFrame())
+	r.Done()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDeterministic: encoding the same state twice yields identical
+// frames — the property content-addressed checkpoint storage depends on.
+func TestEncodeDeterministic(t *testing.T) {
+	if !bytes.Equal(buildFrame(), buildFrame()) {
+		t.Fatal("two encodes of identical state differ")
+	}
+}
+
+// TestBitFlipIsCorrupt: any single-bit flip anywhere in a sealed frame —
+// magic, version, payload, or the checksum itself — fails frame validation
+// with ErrCorrupt before a single payload byte is interpreted.
+func TestBitFlipIsCorrupt(t *testing.T) {
+	frame := buildFrame()
+	for i := range frame {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), frame...)
+			bad[i] ^= 1 << bit
+			if _, err := NewReader(bad, testMagic, testVersion); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: got %v, want ErrCorrupt", i, bit, err)
+			}
+		}
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	frame := buildFrame()
+	// Below the minimum viable frame (magic+version+crc): truncation.
+	for n := 0; n < 9; n++ {
+		if _, err := NewReader(frame[:n], testMagic, testVersion); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("len %d: got %v, want ErrTruncated", n, err)
+		}
+	}
+	// Any longer prefix still fails — as corruption, since the bytes that
+	// land in the checksum position no longer match the body.
+	for n := 9; n < len(frame); n++ {
+		if _, err := NewReader(frame[:n], testMagic, testVersion); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("len %d: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// reseal recomputes the trailing checksum after a deliberate body mutation,
+// isolating the post-checksum validation under test.
+func reseal(frame []byte) []byte {
+	body := frame[:len(frame)-4]
+	sum := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(frame[len(frame)-4:], sum)
+	return frame
+}
+
+func TestVersionMismatch(t *testing.T) {
+	frame := buildFrame()
+	frame[4] = testVersion + 1
+	if _, err := NewReader(reseal(frame), testMagic, testVersion); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	frame := buildFrame()
+	copy(frame, "NOPE")
+	if _, err := NewReader(reseal(frame), testMagic, testVersion); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFieldTruncation: a field whose declared length runs past the payload is
+// caught at the field, not by over-reading.
+func TestFieldTruncation(t *testing.T) {
+	w := &Writer{}
+	w.U64(1000) // claims a 1000-byte string that is not there
+	r, err := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes(); !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", r.Err())
+	}
+}
+
+// TestFieldLengthBound: an absurd declared length is corruption, rejected
+// before it can drive an allocation.
+func TestFieldLengthBound(t *testing.T) {
+	w := &Writer{}
+	w.U64(maxFieldLen + 1)
+	r, err := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes(); !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestStructuralErrors(t *testing.T) {
+	t.Run("marker-mismatch", func(t *testing.T) {
+		w := &Writer{}
+		w.Marker(1)
+		r, _ := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+		r.Expect(2)
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", r.Err())
+		}
+	})
+	t.Run("bool-byte", func(t *testing.T) {
+		w := &Writer{}
+		w.U8(7)
+		r, _ := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+		r.Bool()
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", r.Err())
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		w := &Writer{}
+		w.U64(1)
+		w.U64(2)
+		r, _ := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+		r.U64()
+		r.Done()
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", r.Err())
+		}
+	})
+	t.Run("ref-depth", func(t *testing.T) {
+		deep := &Ref{Kind: 1}
+		for i := 0; i < maxRefDepth+1; i++ {
+			deep = &Ref{Kind: 1, Inner: deep}
+		}
+		w := &Writer{}
+		w.Ref(deep)
+		r, _ := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+		r.Ref()
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", r.Err())
+		}
+	})
+	t.Run("ref-args", func(t *testing.T) {
+		w := &Writer{}
+		w.Ref(&Ref{Kind: 1, Args: make([]uint64, maxRefArgs+1)})
+		r, _ := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+		r.Ref()
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", r.Err())
+		}
+	})
+	t.Run("errors-stick", func(t *testing.T) {
+		w := &Writer{}
+		w.U8(7) // bad bool
+		w.U64(99)
+		r, _ := NewReader(w.Frame(testMagic, testVersion), testMagic, testVersion)
+		r.Bool()
+		first := r.Err()
+		if got := r.U64(); got != 0 {
+			t.Fatalf("read after failure returned %d, want zero value", got)
+		}
+		if r.Err() != first {
+			t.Fatal("later reads replaced the first error")
+		}
+	})
+}
+
+func TestZigUnzig(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63} {
+		if got := Unzig(Zig(v)); got != v {
+			t.Fatalf("Unzig(Zig(%d)) = %d", v, got)
+		}
+	}
+}
+
+// FuzzReader throws arbitrary bytes at frame validation and, when a frame
+// passes, at every field decoder: nothing may panic, and a frame that decodes
+// must re-encode to the same bytes it was decoded from.
+func FuzzReader(f *testing.F) {
+	f.Add(buildFrame())
+	f.Add([]byte{})
+	f.Add([]byte("TEST\x03junkjunk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data, testMagic, testVersion)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			return
+		}
+		// Drive every decoder shape; sticky errors make this safe even when
+		// the fuzzer found a frame whose payload is gibberish.
+		r.Expect(0x5EC7)
+		r.U8()
+		r.U64()
+		r.U64()
+		r.I64()
+		r.I64()
+		r.Bool()
+		r.Bool()
+		r.Bytes()
+		r.Bytes()
+		_ = r.String()
+		r.Ref()
+		r.Ref()
+		r.Done()
+		if err := r.Err(); err != nil &&
+			!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped field error: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip builds a frame from fuzzed primitives and asserts
+// encode→decode→encode byte-stability plus value fidelity.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), []byte(nil), true)
+	f.Add(uint64(1<<62), int64(-1<<40), []byte{1, 2, 3}, false)
+	f.Fuzz(func(t *testing.T, u uint64, i int64, b []byte, flag bool) {
+		encode := func() []byte {
+			w := &Writer{}
+			w.U64(u)
+			w.I64(i)
+			w.Bytes(b)
+			w.Bool(flag)
+			w.Ref(&Ref{Kind: KCacheMSHR, Args: []uint64{u % 7, Zig(i)}})
+			return w.Frame(testMagic, testVersion)
+		}
+		frame := encode()
+		r, err := NewReader(frame, testMagic, testVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.U64(); got != u {
+			t.Fatalf("U64 = %d, want %d", got, u)
+		}
+		if got := r.I64(); got != i {
+			t.Fatalf("I64 = %d, want %d", got, i)
+		}
+		if got := r.Bytes(); !bytes.Equal(got, b) {
+			t.Fatalf("Bytes = %v, want %v", got, b)
+		}
+		if got := r.Bool(); got != flag {
+			t.Fatalf("Bool = %v, want %v", got, flag)
+		}
+		ref := r.Ref()
+		if ref == nil || ref.Kind != KCacheMSHR || Unzig(ref.Args[1]) != i {
+			t.Fatalf("Ref round-trip broke: %+v", ref)
+		}
+		r.Done()
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if again := encode(); !bytes.Equal(frame, again) {
+			t.Fatal("encode is not deterministic")
+		}
+	})
+}

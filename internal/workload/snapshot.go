@@ -1,0 +1,65 @@
+package workload
+
+// Snapshot/Restore for the synthetic instruction generators (DESIGN §15).
+// The RNG serializes as its draw count: restore rebuilds the seeded source
+// and fast-forwards it, which reproduces the stream position exactly (see
+// countingSource). Everything else is plain scalar state.
+
+import (
+	"fmt"
+
+	"smtdram/internal/snap"
+)
+
+const sectionGen = 0x4E454757 // "WGEN"
+
+// Snapshot serializes the generator's mutable state. The application model,
+// seed, and thread identity are not written — restore targets a generator
+// built by NewGen with identical arguments (enforced upstream by the
+// warmup-prefix fingerprint).
+func (g *Gen) Snapshot(w *snap.Writer) error {
+	w.Marker(sectionGen)
+	w.U64(g.src.n)
+	w.U64(g.pc)
+	w.U64(uint64(len(g.streamPos)))
+	for _, p := range g.streamPos {
+		w.I64(p)
+	}
+	w.I64(int64(g.sinceCold))
+	w.U64(g.count)
+	w.Bool(g.inBurst)
+	return nil
+}
+
+// Restore rebuilds the generator's state from r. The receiver must be
+// freshly built by NewGen with the same app/thread/seed as the snapshotted
+// generator: the RNG is fast-forwarded from its seeded origin.
+func (g *Gen) Restore(r *snap.Reader) error {
+	r.Expect(sectionGen)
+	draws := r.U64()
+	pc := r.U64()
+	nStreams := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nStreams != uint64(len(g.streamPos)) {
+		return fmt.Errorf("%w: snapshot has %d streams, generator %d", snap.ErrCorrupt, nStreams, len(g.streamPos))
+	}
+	for i := range g.streamPos {
+		g.streamPos[i] = r.I64()
+	}
+	g.sinceCold = int(r.I64())
+	g.count = r.U64()
+	g.inBurst = r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if g.src.n > draws {
+		return fmt.Errorf("%w: generator already advanced %d draws, snapshot at %d", snap.ErrCorrupt, g.src.n, draws)
+	}
+	for g.src.n < draws {
+		g.src.Uint64()
+	}
+	g.pc = pc
+	return nil
+}

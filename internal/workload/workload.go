@@ -193,10 +193,35 @@ const threadAddrBits = 40
 // size, so consecutive threads land on well-separated sets at every level.
 const threadSkew = 64 * 22651
 
+// countingSource wraps the generator's random source, counting draws at the
+// source level. Every rand.Rand method the generator uses bottoms out in
+// exactly one source step per draw (with identical internal rejection loops
+// re-drawing through the same path), so the count is a complete description
+// of the stream position: a fresh source fast-forwarded count steps is
+// byte-identical to the live one. That is what makes the generator's RNG
+// state serializable without exposing math/rand internals.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
 // Gen produces the dynamic instruction stream of one thread running app.
 type Gen struct {
 	app  App
 	rng  *rand.Rand
+	src  *countingSource
 	base uint64
 	skew uint64
 
@@ -212,9 +237,13 @@ func NewGen(app App, threadID int, seed int64) (*Gen, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
+	src := &countingSource{
+		src: rand.NewSource(seed ^ int64(threadID+1)*0x5E3779B97F4A7C15).(rand.Source64),
+	}
 	g := &Gen{
 		app:       app,
-		rng:       rand.New(rand.NewSource(seed ^ int64(threadID+1)*0x5E3779B97F4A7C15)),
+		rng:       rand.New(src),
+		src:       src,
 		base:      uint64(threadID) << threadAddrBits,
 		skew:      uint64(threadID) * threadSkew,
 		streamPos: make([]int64, max(app.Streams, 1)),
