@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"net/http"
+)
+
+// fleetDashHTML is the coordinator's /debug/dash page: a fleet card (one row
+// per worker with ring share, readiness, forwards, ejection history) over the
+// coordinator's own counters, refreshed by polling /v1/fleet once a second.
+// Self-contained like the worker dashboard: no external assets.
+const fleetDashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>smtdramd fleet</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; color: #222; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .3rem .7rem; border-bottom: 1px solid #ddd; }
+  th { color: #666; font-weight: 600; }
+  .num { text-align: right; font-variant-numeric: tabular-nums; }
+  .ok { color: #2e7d32; font-weight: 600; } .bad { color: #c62828; font-weight: 600; }
+  .cards { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1rem 0; }
+  .card { border: 1px solid #ddd; border-radius: 8px; padding: .7rem 1.1rem; min-width: 9rem; }
+  .card .v { font-size: 1.5rem; font-variant-numeric: tabular-nums; }
+  .card .k { color: #666; font-size: .8rem; }
+  .err { color: #c62828; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>smtdramd fleet coordinator</h1>
+<div class="cards">
+  <div class="card"><div class="v" id="ready">–</div><div class="k">ready / workers</div></div>
+  <div class="card"><div class="v" id="forwards">–</div><div class="k">forwards</div></div>
+  <div class="card"><div class="v" id="errors">–</div><div class="k">forward errors</div></div>
+  <div class="card"><div class="v" id="rejected">–</div><div class="k">quota rejected</div></div>
+  <div class="card"><div class="v" id="uptime">–</div><div class="k">uptime</div></div>
+</div>
+<h2>Workers</h2>
+<table>
+<thead><tr>
+  <th>node</th><th>url</th><th>state</th>
+  <th class="num">ring share</th><th class="num">forwards</th>
+  <th class="num">proxy errors</th><th class="num">ejections</th><th>last error</th>
+</tr></thead>
+<tbody id="members"></tbody>
+</table>
+<p class="err" id="fetcherr"></p>
+<script>
+function esc(s) { const d = document.createElement('span'); d.textContent = s ?? ''; return d.innerHTML; }
+async function tick() {
+  try {
+    const r = await fetch('/v1/fleet'); const s = await r.json();
+    document.getElementById('ready').textContent = s.ready_workers + ' / ' + s.workers;
+    document.getElementById('forwards').textContent = s.forwards;
+    document.getElementById('errors').textContent = s.forward_errors;
+    document.getElementById('rejected').textContent = s.quota_rejected;
+    document.getElementById('uptime').textContent = Math.round(s.uptime_seconds) + 's';
+    document.getElementById('members').innerHTML = (s.members || []).map(m =>
+      '<tr><td>' + esc(m.node_id || '?') + '</td><td>' + esc(m.url) + '</td>' +
+      '<td class="' + (m.ready ? 'ok">ready' : 'bad">ejected') + '</td>' +
+      '<td class="num">' + (100 * (m.ring_share || 0)).toFixed(1) + '%</td>' +
+      '<td class="num">' + m.forwards + '</td>' +
+      '<td class="num">' + m.proxy_errors + '</td>' +
+      '<td class="num">' + m.ejections + '</td>' +
+      '<td class="err">' + esc(m.last_error || '') + '</td></tr>').join('');
+    document.getElementById('fetcherr').textContent = '';
+  } catch (e) { document.getElementById('fetcherr').textContent = 'fetch failed: ' + e; }
+}
+tick(); setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`
+
+func (c *Coordinator) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(fleetDashHTML))
+}

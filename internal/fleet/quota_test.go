@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func testClock(start time.Time) (*time.Time, func() time.Time) {
+	t := start
+	return &t, func() time.Time { return t }
+}
+
+func TestQuotaTenantBuckets(t *testing.T) {
+	now, clock := testClock(time.Unix(1000, 0))
+	q := NewQuota(QuotaConfig{RatePerSec: 2, Burst: 4, now: clock})
+
+	// Burst drains, then the tenant is shed with its own refill horizon.
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.Charge("alice"); !ok {
+			t.Fatalf("charge %d within burst rejected", i)
+		}
+	}
+	ok, retry := q.Charge("alice")
+	if ok {
+		t.Fatal("charge beyond burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s] at 2 tokens/sec", retry)
+	}
+
+	// Tenants are independent: bob's fresh bucket admits immediately.
+	if ok, _ := q.Charge("bob"); !ok {
+		t.Fatal("independent tenant rejected")
+	}
+
+	// Refill: half a second buys one token at 2/sec.
+	*now = now.Add(500 * time.Millisecond)
+	if ok, _ := q.Charge("alice"); !ok {
+		t.Fatal("refilled tenant still rejected")
+	}
+	if ok, _ := q.Charge("alice"); ok {
+		t.Fatal("second charge after a one-token refill admitted")
+	}
+}
+
+func TestQuotaPrioritySlots(t *testing.T) {
+	q := NewQuota(QuotaConfig{Slots: 3, HighReserve: 1})
+
+	// Low priority may fill only Slots-HighReserve.
+	rel1, ok := q.Acquire(false)
+	rel2, ok2 := q.Acquire(false)
+	if !ok || !ok2 {
+		t.Fatal("low-priority slots under the cap rejected")
+	}
+	if _, ok := q.Acquire(false); ok {
+		t.Fatal("low priority occupied the reserved headroom")
+	}
+	// High priority can still get in — that's what the reserve is for.
+	relH, ok := q.Acquire(true)
+	if !ok {
+		t.Fatal("high priority rejected while its reserve was free")
+	}
+	if _, ok := q.Acquire(true); ok {
+		t.Fatal("acquire beyond total slots admitted")
+	}
+	relH()
+	rel1()
+	rel2()
+	if _, ok := q.Acquire(false); !ok {
+		t.Fatal("released slots not reusable")
+	}
+
+	st := q.Snapshot()
+	if st.InFlightLow != 1 || st.InFlightHigh != 0 {
+		t.Fatalf("snapshot in-flight = %d low / %d high", st.InFlightLow, st.InFlightHigh)
+	}
+	if st.RejectedClass != 2 {
+		t.Fatalf("snapshot rejected_class = %d, want 2", st.RejectedClass)
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	var q *Quota // nil quota admits everything
+	if ok, _ := q.Charge("anyone"); !ok {
+		t.Fatal("nil quota rejected a charge")
+	}
+	if _, ok := q.Acquire(false); !ok {
+		t.Fatal("nil quota rejected an acquire")
+	}
+	q = NewQuota(QuotaConfig{}) // zero config likewise
+	if ok, _ := q.Charge("anyone"); !ok {
+		t.Fatal("zero-config quota rejected a charge")
+	}
+	if _, ok := q.Acquire(true); !ok {
+		t.Fatal("zero-config quota rejected an acquire")
+	}
+}

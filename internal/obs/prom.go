@@ -46,6 +46,21 @@ func promFloat(v float64) string {
 // must hold their own lock around both the mutation and the render, as the
 // server's metricsMu does.
 func (r *Registry) WritePrometheus(w io.Writer, namespace string, now uint64) error {
+	return r.WritePrometheusLabeled(w, namespace, now, nil)
+}
+
+// Label is one constant label attached to every sample of a labeled render —
+// fleet deployments stamp node_id and role so multi-node scrapes stay
+// distinguishable.
+type Label struct {
+	Key, Val string
+}
+
+// WritePrometheusLabeled renders like WritePrometheus with the given constant
+// labels on every sample. Histogram buckets merge the labels with their `le`
+// label. An empty label set renders unlabeled samples, byte-identical to
+// WritePrometheus.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, namespace string, now uint64, labels []Label) error {
 	if r == nil {
 		return nil
 	}
@@ -53,15 +68,30 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string, now uint64) er
 	if namespace != "" {
 		prefix = PromName(namespace) + "_"
 	}
+	// ls is the rendered label set for scalar samples ("" or `{k="v",...}`);
+	// lsIn is the same pairs positioned inside a histogram bucket's braces
+	// ("" or `k="v",...` followed by ","), so `le` merges in after them.
+	var ls, lsIn string
+	if len(labels) > 0 {
+		var b strings.Builder
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", PromName(l.Key), l.Val)
+		}
+		lsIn = b.String() + ","
+		ls = "{" + b.String() + "}"
+	}
 	for _, g := range r.gauges {
 		name := prefix + PromName(g.name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.f(now))); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", name, name, ls, promFloat(g.f(now))); err != nil {
 			return err
 		}
 	}
 	for _, c := range r.counters {
 		name := prefix + PromName(c.name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, ls, c.Value()); err != nil {
 			return err
 		}
 	}
@@ -73,12 +103,12 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string, now uint64) er
 		var cum uint64
 		for i, bound := range h.bounds {
 			cum += h.counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, lsIn, bound, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			name, h.n, name, h.sum, name, h.n); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n%s_sum%s %d\n%s_count%s %d\n",
+			name, lsIn, h.n, name, ls, h.sum, name, ls, h.n); err != nil {
 			return err
 		}
 	}

@@ -24,6 +24,9 @@ type Client struct {
 	BaseURL string
 	// HTTP is the transport (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Retry, when set, retries transient failures (502/503/504, transport
+	// errors) with jittered exponential backoff. See RetryPolicy.
+	Retry *RetryPolicy
 }
 
 // New builds a client for baseURL.
@@ -69,6 +72,12 @@ func errorBody(body []byte) string {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, func(ctx context.Context) error {
+		return c.doOnce(ctx, method, path, in, out)
+	})
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)

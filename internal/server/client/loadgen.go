@@ -47,10 +47,13 @@ func DefaultLoadMix() []server.SimRequest {
 
 // LoadGenReport is the measured outcome of a load-generation run.
 type LoadGenReport struct {
-	Requests       int     `json:"requests"`
-	Completed      int     `json:"completed"`
-	Failed         int     `json:"failed"`
-	Rejections     int     `json:"rejections_429"`
+	Requests   int `json:"requests"`
+	Completed  int `json:"completed"`
+	Failed     int `json:"failed"`
+	Rejections int `json:"rejections_429"`
+	// Retries5xx counts attempts the client's RetryPolicy retried after a
+	// transient 5xx or transport failure (0 when no policy is attached).
+	Retries5xx     uint64  `json:"retries_5xx"`
 	WallSeconds    float64 `json:"wall_seconds"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	P50Ms          float64 `json:"p50_ms"`
@@ -79,6 +82,7 @@ func (c *Client) LoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport,
 	}
 
 	before := snapshotCounters(ctx, c)
+	retriedBefore := c.Retry.Retried()
 
 	var (
 		mu         sync.Mutex
@@ -132,6 +136,7 @@ func (c *Client) LoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport,
 		Completed:   len(latencies),
 		Failed:      failed,
 		Rejections:  rejections,
+		Retries5xx:  c.Retry.Retried() - retriedBefore,
 		WallSeconds: wall.Seconds(),
 		P50Ms:       percentile(latencies, 0.50),
 		P90Ms:       percentile(latencies, 0.90),

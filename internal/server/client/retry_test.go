@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryTransient503: a policy-equipped client rides out transient 503s
+// and reports how many attempts it retried.
+func TestRetryTransient503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"worker rebalancing"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("retrying client failed: %v (calls=%d)", err, calls.Load())
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if got := c.Retry.Retried(); got != 2 {
+		t.Fatalf("Retried() = %d, want 2", got)
+	}
+}
+
+// TestRetryAttemptCap: the cap is honored and the final error surfaces.
+func TestRetryAttemptCap(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad gateway"}`, http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	err := c.Healthz(context.Background())
+	var api *APIError
+	if !errors.As(err, &api) || api.Code != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError 502", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestRetryNonTransientNotRetried: a 400 means what it says — one attempt.
+func TestRetryNonTransientNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such app"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond}
+	err := c.Healthz(context.Background())
+	var api *APIError
+	if !errors.As(err, &api) || api.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (400 is not transient)", got)
+	}
+}
+
+// TestRetry429NotRetried: load-shed responses keep their Retry-After
+// contract instead of being hammered by the policy.
+func TestRetry429NotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond}
+	err := c.Healthz(context.Background())
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) || ra.After != 7*time.Second {
+		t.Fatalf("err = %v, want RetryAfterError 7s", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (429 is the server's backoff)", got)
+	}
+}
+
+// TestRetryPerAttemptTimeout: a hung attempt is cut off and retried, and the
+// call succeeds within the parent context.
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // hang until the attempt context kills the request
+			case <-r.Context().Done():
+			case <-time.After(10 * time.Second):
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, PerAttemptTimeout: 100 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("per-attempt timeout did not rescue the call: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}

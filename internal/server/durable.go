@@ -283,11 +283,15 @@ func (s *Server) recoverFromJournal(path string) {
 	}
 }
 
-// parseJobID extracts the numeric suffix of a "j-N" job id.
+// parseJobID extracts the numeric suffix of a job id — "j-N" standalone,
+// "j-<node>-N" on a fleet node (node ids never contain '-').
 func parseJobID(id string) (uint64, bool) {
 	rest, ok := strings.CutPrefix(id, "j-")
 	if !ok {
 		return 0, false
+	}
+	if i := strings.LastIndexByte(rest, '-'); i >= 0 {
+		rest = rest[i+1:]
 	}
 	n, err := strconv.ParseUint(rest, 10, 64)
 	return n, err == nil

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"smtdram/internal/obs"
 	"smtdram/internal/store"
 )
 
@@ -46,14 +47,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	fp := "sim|" + cfg.Fingerprint()
-	if req.Trace {
-		// Separate cache/dedup key: the result bytes are identical, but a
-		// traced submission must reach a real run to collect cycle events.
-		fp += "|traced"
-	}
+	fp := simShardKey(cfg, req.Trace)
 	reqJSON, _ := json.Marshal(req) // canonical form for the write-ahead journal
-	s.submit(w, "sim", fp, reqJSON, func(fl *flight) func(context.Context) (json.RawMessage, error) {
+	s.submit(w, r, "sim", fp, reqJSON, func(fl *flight) func(context.Context) (json.RawMessage, error) {
 		return s.simFlightFn(fl, cfg, req.Trace)
 	})
 }
@@ -69,7 +65,7 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqJSON, _ := json.Marshal(req)
-	s.submit(w, "figure", "fig|"+req.key(), reqJSON, func(fl *flight) func(context.Context) (json.RawMessage, error) {
+	s.submit(w, r, "figure", "fig|"+req.key(), reqJSON, func(fl *flight) func(context.Context) (json.RawMessage, error) {
 		return s.figFlightFn(fl, req)
 	})
 }
@@ -255,9 +251,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.syncCheckpointMetrics() // fold the checkpoint cache's tallies in first
+	// Fleet nodes label every sample with their identity so a multi-node
+	// scrape stays distinguishable; standalone daemons render unlabeled,
+	// byte-compatible with pre-fleet scrapes.
+	var labels []obs.Label
+	if s.cfg.NodeID != "" {
+		labels = []obs.Label{{Key: "node_id", Val: s.cfg.NodeID}, {Key: "role", Val: s.Role()}}
+	}
 	s.metricsMu.Lock()
 	defer s.metricsMu.Unlock()
-	_ = s.reg.WritePrometheus(w, "smtdram", uint64(time.Since(s.startedAt)/time.Second))
+	_ = s.reg.WritePrometheusLabeled(w, "smtdram", uint64(time.Since(s.startedAt)/time.Second), labels)
 }
 
 // handleHealthz is pure liveness: 200 whenever the process can serve HTTP at

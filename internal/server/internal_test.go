@@ -32,6 +32,11 @@ func blockingFn(release <-chan struct{}, out json.RawMessage, runs *atomic.Int64
 	}
 }
 
+// submitReq builds the bare request submit needs for header-driven admission.
+func submitReq() *http.Request {
+	return httptest.NewRequest(http.MethodPost, "/v1/sim", nil)
+}
+
 func decodeStatus(t *testing.T, rec *httptest.ResponseRecorder) JobStatus {
 	t.Helper()
 	var st JobStatus
@@ -75,9 +80,9 @@ func TestDedupSharesOneFlight(t *testing.T) {
 	fn := blockingFn(release, json.RawMessage(`{"v":1}`), &runs)
 
 	rec1 := httptest.NewRecorder()
-	s.submit(rec1, "sim", "fp-x", nil, fn)
+	s.submit(rec1, submitReq(), "sim", "fp-x", nil, fn)
 	rec2 := httptest.NewRecorder()
-	s.submit(rec2, "sim", "fp-x", nil, fn)
+	s.submit(rec2, submitReq(), "sim", "fp-x", nil, fn)
 	if rec1.Code != http.StatusAccepted || rec2.Code != http.StatusAccepted {
 		t.Fatalf("codes = %d, %d; want both 202", rec1.Code, rec2.Code)
 	}
@@ -110,12 +115,12 @@ func TestBackpressure429(t *testing.T) {
 	fn := blockingFn(release, json.RawMessage(`{}`), nil)
 
 	rec1 := httptest.NewRecorder()
-	s.submit(rec1, "sim", "fp-a", nil, fn)
+	s.submit(rec1, submitReq(), "sim", "fp-a", nil, fn)
 	if rec1.Code != http.StatusAccepted {
 		t.Fatalf("first submission: %d, want 202", rec1.Code)
 	}
 	rec2 := httptest.NewRecorder()
-	s.submit(rec2, "sim", "fp-b", nil, blockingFn(release, json.RawMessage(`{}`), nil))
+	s.submit(rec2, submitReq(), "sim", "fp-b", nil, blockingFn(release, json.RawMessage(`{}`), nil))
 	if rec2.Code != http.StatusTooManyRequests {
 		t.Fatalf("second submission: %d, want 429", rec2.Code)
 	}
@@ -127,7 +132,7 @@ func TestBackpressure429(t *testing.T) {
 	waitState(t, s, decodeStatus(t, rec1).ID, StateDone)
 
 	rec3 := httptest.NewRecorder()
-	s.submit(rec3, "sim", "fp-c", nil, blockingFn(nil, nil, nil))
+	s.submit(rec3, submitReq(), "sim", "fp-c", nil, blockingFn(nil, nil, nil))
 	if rec3.Code != http.StatusAccepted {
 		t.Fatalf("submission after slot freed: %d, want 202", rec3.Code)
 	}
@@ -144,7 +149,7 @@ func TestCancelFreesSlotAndCancelsFlight(t *testing.T) {
 
 	sawCancel := make(chan struct{})
 	rec := httptest.NewRecorder()
-	s.submit(rec, "sim", "fp-cancel", nil, func(fl *flight) func(context.Context) (json.RawMessage, error) {
+	s.submit(rec, submitReq(), "sim", "fp-cancel", nil, func(fl *flight) func(context.Context) (json.RawMessage, error) {
 		return func(ctx context.Context) (json.RawMessage, error) {
 			<-ctx.Done()
 			close(sawCancel)
@@ -180,7 +185,7 @@ func TestCancelFreesSlotAndCancelsFlight(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		rec2 := httptest.NewRecorder()
-		s.submit(rec2, "sim", "fp-after", nil, blockingFn(nil, nil, nil))
+		s.submit(rec2, submitReq(), "sim", "fp-after", nil, blockingFn(nil, nil, nil))
 		if rec2.Code == http.StatusAccepted {
 			break
 		}
@@ -209,9 +214,9 @@ func TestCancelOneDedupedSiblingKeepsOther(t *testing.T) {
 	release := make(chan struct{})
 	fn := blockingFn(release, json.RawMessage(`{"kept":true}`), nil)
 	rec1 := httptest.NewRecorder()
-	s.submit(rec1, "sim", "fp-shared", nil, fn)
+	s.submit(rec1, submitReq(), "sim", "fp-shared", nil, fn)
 	rec2 := httptest.NewRecorder()
-	s.submit(rec2, "sim", "fp-shared", nil, fn)
+	s.submit(rec2, submitReq(), "sim", "fp-shared", nil, fn)
 	st1, st2 := decodeStatus(t, rec1), decodeStatus(t, rec2)
 
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st2.ID, nil)
@@ -241,7 +246,7 @@ func TestSSEStreamDeterministic(t *testing.T) {
 	subscribed := make(chan struct{})
 	release := make(chan struct{})
 	rec := httptest.NewRecorder()
-	s.submit(rec, "sim", "fp-sse", nil, func(fl *flight) func(context.Context) (json.RawMessage, error) {
+	s.submit(rec, submitReq(), "sim", "fp-sse", nil, func(fl *flight) func(context.Context) (json.RawMessage, error) {
 		return func(ctx context.Context) (json.RawMessage, error) {
 			select {
 			case <-subscribed:
@@ -333,11 +338,11 @@ func TestCacheCountersAreCounters(t *testing.T) {
 		}
 	}
 	rec1 := httptest.NewRecorder()
-	s.submit(rec1, "sim", "fp-counted", nil, instant)
+	s.submit(rec1, submitReq(), "sim", "fp-counted", nil, instant)
 	waitState(t, s, decodeStatus(t, rec1).ID, StateDone)
 
 	rec2 := httptest.NewRecorder()
-	s.submit(rec2, "sim", "fp-counted", nil, instant)
+	s.submit(rec2, submitReq(), "sim", "fp-counted", nil, instant)
 	if rec2.Code != http.StatusOK || !decodeStatus(t, rec2).Cached {
 		t.Fatalf("repeat submission: code %d, want 200 served from cache", rec2.Code)
 	}
@@ -387,7 +392,7 @@ func TestDrainSubmitRace(t *testing.T) {
 				default:
 				}
 				rec := httptest.NewRecorder()
-				s.submit(rec, "sim", fmt.Sprintf("fp-race-%d-%d", i, n), nil, instant)
+				s.submit(rec, submitReq(), "sim", fmt.Sprintf("fp-race-%d-%d", i, n), nil, instant)
 			}
 		}(i)
 	}
@@ -417,12 +422,12 @@ func TestFailedFlightNotCached(t *testing.T) {
 		}
 	}
 	rec1 := httptest.NewRecorder()
-	s.submit(rec1, "sim", "fp-fail", nil, fail)
+	s.submit(rec1, submitReq(), "sim", "fp-fail", nil, fail)
 	st1 := decodeStatus(t, rec1)
 	waitState(t, s, st1.ID, StateFailed)
 
 	rec2 := httptest.NewRecorder()
-	s.submit(rec2, "sim", "fp-fail", nil, fail)
+	s.submit(rec2, submitReq(), "sim", "fp-fail", nil, fail)
 	if rec2.Code != http.StatusAccepted {
 		t.Fatalf("resubmission after failure: %d, want 202 (not served from cache)", rec2.Code)
 	}

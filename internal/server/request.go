@@ -132,6 +132,30 @@ func (r SimRequest) Config() (core.Config, error) {
 	return cfg, nil
 }
 
+// simShardKey is the cache/dedup/routing key for one simulation
+// configuration. Traced submissions get a separate key: the result bytes are
+// identical, but a trace must reach a real run to collect cycle events.
+func simShardKey(cfg core.Config, traced bool) string {
+	fp := "sim|" + cfg.Fingerprint()
+	if traced {
+		fp += "|traced"
+	}
+	return fp
+}
+
+// ShardKey returns the key the daemon caches, dedups, and — in a fleet —
+// routes this request by: the same Config.Fingerprint-derived string at
+// every layer, which is what keeps LRU locality and checkpoint-prefix reuse
+// intact across scale-out. The coordinator calls this to pick a ring owner
+// without running anything.
+func (r SimRequest) ShardKey() (string, error) {
+	cfg, err := r.Config()
+	if err != nil {
+		return "", err
+	}
+	return simShardKey(cfg, r.Trace), nil
+}
+
 // FigRequest submits one figure sweep from the paper's evaluation.
 type FigRequest struct {
 	// Fig selects the sweep: "table2" or "1".."10".
@@ -148,6 +172,14 @@ type FigRequest struct {
 // cache entry.
 func (r FigRequest) key() string {
 	return fmt.Sprintf("fig=%s warm=%d target=%d seed=%d", r.Fig, r.Warmup, r.Target, r.Seed)
+}
+
+// ShardKey is the figure sweep's cache/routing key (see SimRequest.ShardKey).
+func (r FigRequest) ShardKey() (string, error) {
+	if err := (FigRequest{Fig: r.Fig}).validate(); err != nil {
+		return "", err
+	}
+	return "fig|" + r.key(), nil
 }
 
 // validate rejects unknown figure names without running anything.

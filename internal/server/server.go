@@ -39,6 +39,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +94,20 @@ type Config struct {
 	// CheckpointEntries bounds the in-memory checkpoint tier (default 64;
 	// 0 keeps the default, negative removes the bound).
 	CheckpointEntries int
+	// NodeID names this daemon in a fleet (DESIGN §16). When set, job ids
+	// become "j-<node>-<n>" so a coordinator can route job lookups
+	// statelessly, and /metrics and /v1/stats carry node_id/role labels.
+	// Must not contain '-'; empty means a standalone daemon.
+	NodeID string
+	// PeerFetch, when non-nil, adds the peering tier to the cache ladder:
+	// on a local store miss the daemon asks fleet peers for the entry before
+	// computing. internal/fleet provides the implementation.
+	PeerFetch PeerFetcher
+	// PeerTimeout bounds one peer fetch (default 2s).
+	PeerTimeout time.Duration
+	// Admission, when non-nil, layers per-tenant token buckets and two-level
+	// priority admission in front of the bounded queue.
+	Admission Admission
 }
 
 func (c Config) withDefaults() Config {
@@ -169,9 +185,11 @@ type JobStatus struct {
 	State       State  `json:"state"`
 	Fingerprint string `json:"fingerprint"`
 	// Cached marks a submission answered straight from the result cache;
-	// Deduped marks one that joined another submission's in-flight run.
+	// Deduped marks one that joined another submission's in-flight run; Peer
+	// marks a cached answer whose bytes were fetched from a fleet peer.
 	Cached  bool `json:"cached,omitempty"`
 	Deduped bool `json:"deduped,omitempty"`
+	Peer    bool `json:"peer,omitempty"`
 	// Error is set on failed jobs.
 	Error string `json:"error,omitempty"`
 	// Result is the raw result payload, present once State is done.
@@ -192,6 +210,7 @@ type job struct {
 	created time.Time // submit-entry instant; anchors the phase accounting
 	deduped bool
 	cached  bool
+	peer    bool
 
 	// Tracing state, written under Server.mu before the job is reachable (or,
 	// for simEvents, by awaitFlight under Server.mu before detaching): the
@@ -223,6 +242,9 @@ type job struct {
 	skip      *SkipInfo // set with result (or pre-publication for cached jobs)
 	subs      []chan []byte
 	slotFreed bool
+	// classRelease returns the job's priority-class slot (Config.Admission);
+	// releaseSlot runs it exactly once, with the admission token.
+	classRelease func()
 }
 
 // status snapshots the job for the wire. includeResult controls whether the
@@ -232,7 +254,7 @@ func (j *job) status(includeResult bool) JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, Kind: j.kind, State: j.state, Fingerprint: j.fp,
-		Cached: j.cached, Deduped: j.deduped, Error: j.errMsg,
+		Cached: j.cached, Deduped: j.deduped, Peer: j.peer, Error: j.errMsg,
 		Progress: j.progress,
 	}
 	if j.state == StateDone {
@@ -346,6 +368,15 @@ type Server struct {
 	mStoreWriteErrors *obs.Counter
 	mJournalRecords   *obs.Counter
 	mJournalErrors    *obs.Counter
+	// Fleet counters: the peering tier's fetch outcomes (a corrupt peer entry
+	// counts both corrupt and miss, mirroring the disk tier), entries served
+	// to peers, and submissions shed by tenant quota or priority capacity.
+	mPeerHits        *obs.Counter
+	mPeerMisses      *obs.Counter
+	mPeerCorrupt     *obs.Counter
+	mPeerServed      *obs.Counter
+	mPeerServeMisses *obs.Counter
+	mQuotaRejected   *obs.Counter
 	// Warmup-checkpoint counters mirror the checkpoint cache's internal
 	// tallies into the registry; syncCheckpointMetrics folds the deltas in
 	// before every render so /metrics keeps counter semantics.
@@ -461,6 +492,12 @@ func New(cfg Config) *Server {
 	s.mStoreWriteErrors = s.reg.Counter("store_write_errors_total")
 	s.mJournalRecords = s.reg.Counter("journal_records_total")
 	s.mJournalErrors = s.reg.Counter("journal_errors_total")
+	s.mPeerHits = s.reg.Counter("peer_hits_total")
+	s.mPeerMisses = s.reg.Counter("peer_misses_total")
+	s.mPeerCorrupt = s.reg.Counter("peer_corrupt_total")
+	s.mPeerServed = s.reg.Counter("peer_served_total")
+	s.mPeerServeMisses = s.reg.Counter("peer_serve_misses_total")
+	s.mQuotaRejected = s.reg.Counter("jobs_quota_rejected_total")
 	s.mCkptHits = s.reg.Counter("checkpoint_hits_total")
 	s.mCkptMisses = s.reg.Counter("checkpoint_misses_total")
 	s.mCkptForks = s.reg.Counter("checkpoint_forks_total")
@@ -547,6 +584,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/peer/result", s.handlePeerResult)
+	mux.HandleFunc("GET /v1/fleet/self", s.handleFleetSelf)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -596,9 +635,16 @@ func (s *Server) Close() {
 
 // ---------------------------------------------------------------- submission
 
-// newJobLocked allocates and registers a job; the caller holds s.mu.
+// newJobLocked allocates and registers a job; the caller holds s.mu. Fleet
+// nodes embed their id ("j-w1-3") so a coordinator can route any job lookup
+// to the node that owns it by parsing the id alone.
 func (s *Server) newJobLocked(kind, fp string) *job {
-	return s.registerJobLocked(fmt.Sprintf("j-%d", s.nextID.Add(1)), kind, fp)
+	n := s.nextID.Add(1)
+	id := fmt.Sprintf("j-%d", n)
+	if s.cfg.NodeID != "" {
+		id = fmt.Sprintf("j-%s-%d", s.cfg.NodeID, n)
+	}
+	return s.registerJobLocked(id, kind, fp)
 }
 
 // registerJobLocked registers a job under an explicit id — fresh ids from
@@ -651,14 +697,20 @@ func (s *Server) admit() bool {
 	}
 }
 
-// releaseSlot frees j's admission token exactly once.
+// releaseSlot frees j's admission token (and its priority-class slot, if
+// any) exactly once.
 func (s *Server) releaseSlot(j *job) {
 	j.mu.Lock()
 	freed := j.slotFreed
 	j.slotFreed = true
+	rel := j.classRelease
+	j.classRelease = nil
 	j.mu.Unlock()
 	if !freed {
 		<-s.slots
+		if rel != nil {
+			rel()
+		}
 	}
 }
 
@@ -667,16 +719,21 @@ func (s *Server) releaseSlot(j *job) {
 // is touched (metricsMu nests outside s.mu — the /metrics render holds it
 // while gauges read s.mu). root/adm are the submission's spans; both end
 // here with the cache-hit outcome.
-func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte, sk *SkipInfo, t0 time.Time, root, adm *obs.Span) {
+func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []byte, sk *SkipInfo, t0 time.Time, root, adm *obs.Span, peer bool) {
 	j := s.newJobLocked(kind, fp)
 	j.cached = true
+	j.peer = peer
 	j.state = StateDone
 	j.result = b
 	j.skip = sk
 	j.span = root
 	root.SetAttr("job", j.id)
 	s.mu.Unlock()
-	adm.SetAttr("outcome", "cache_hit")
+	outcome := "cache_hit"
+	if peer {
+		outcome = "peer_hit"
+	}
+	adm.SetAttr("outcome", outcome)
 	adm.End()
 	root.SetAttr("state", string(StateDone))
 	root.End()
@@ -684,7 +741,7 @@ func (s *Server) serveCachedLocked(w http.ResponseWriter, kind, fp string, b []b
 	s.count(s.mAccepted)
 	s.count(s.mCached)
 	s.observeCacheHit(time.Since(t0))
-	s.log.Info("job cache hit", "job", j.id, "kind", kind, "fp", fp)
+	s.log.Info("job cache hit", "job", j.id, "kind", kind, "fp", fp, "peer", peer)
 	writeJSON(w, http.StatusOK, j.status(true))
 }
 
@@ -704,12 +761,13 @@ func (s *Server) flightForLocked(fp string, root *obs.Span, fn func(*flight) fun
 	return fl, true
 }
 
-// submit runs the common submission path: answer from the LRU or the disk
-// store, join an in-flight twin, or start a new flight computing fn. reqJSON
-// is the original wire request, journaled write-ahead so a crashed daemon
-// can re-run the job. Every outcome — even a rejection — leaves a span tree
-// in the serving trace.
-func (s *Server) submit(w http.ResponseWriter, kind, fp string, reqJSON []byte, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
+// submit runs the common submission path: answer from the LRU, the disk
+// store, or a fleet peer; join an in-flight twin; or start a new flight
+// computing fn. reqJSON is the original wire request, journaled write-ahead
+// so a crashed daemon can re-run the job. r carries the tenant and priority
+// headers for admission. Every outcome — even a rejection — leaves a span
+// tree in the serving trace.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, fp string, reqJSON []byte, fn func(*flight) func(context.Context) (json.RawMessage, error)) {
 	t0 := time.Now()
 	root := s.spans.Start("job", obs.A("kind", kind), obs.A("fp", fp))
 	adm := root.Child("admission")
@@ -725,24 +783,73 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, reqJSON []byte, 
 		return
 	}
 
+	// Tenant quota first: the bucket prices every submission — cached answers
+	// included — so a tenant hammering warm keys still pays for the requests.
+	tenant := r.Header.Get("X-Smtdram-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	high := strings.EqualFold(r.Header.Get("X-Smtdram-Priority"), "high")
+	if s.cfg.Admission != nil {
+		if ok, retry := s.cfg.Admission.Charge(tenant); !ok {
+			s.count(s.mQuotaRejected)
+			s.count(s.mRejected)
+			endWith("rejected_tenant_quota")
+			secs := int((retry + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("X-Smtdram-Tenant", tenant)
+			writeErr(w, http.StatusTooManyRequests, fmt.Sprintf("tenant %q over quota; retry in %ds", tenant, secs))
+			return
+		}
+	}
+
 	s.mu.Lock()
 	if b, sk, ok := s.cache.get(fp); ok {
-		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm)
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm, false)
 		return
 	}
 	s.mu.Unlock()
 	// Disk tier: an LRU miss falls back to the content-addressed store (IO
 	// outside s.mu) before computing. A hit is promoted into the LRU, so the
-	// ladder is LRU → disk → compute.
+	// ladder is LRU → disk → peer → compute.
 	if b, sk, ok := s.storeGet(fp); ok {
 		s.mu.Lock()
 		s.cache.add(fp, b, sk)
-		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm)
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm, false)
+		return
+	}
+	// Peering tier: in a fleet, the key's previous ring owner may hold the
+	// result this node has never computed (membership changed, or the sweep
+	// warmed a sibling). CRC-verified transfer, then write-through above.
+	if b, sk, ok := s.peerGet(r.Context(), fp); ok {
+		s.mu.Lock()
+		s.cache.add(fp, b, sk)
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm, true)
 		return
 	}
 	s.count(s.mCacheMisses)
 
+	// Priority-class slot, then the global queue slot: the class gate keeps
+	// reserved headroom for high-priority work, the queue bounds everything.
+	classRelease, classOK := func() (func(), bool) {
+		if s.cfg.Admission == nil {
+			return func() {}, true
+		}
+		return s.cfg.Admission.Acquire(high)
+	}()
+	if !classOK {
+		s.count(s.mQuotaRejected)
+		s.count(s.mRejected)
+		endWith("rejected_priority_capacity")
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "priority-class capacity exhausted; retry later")
+		return
+	}
 	if !s.admit() {
+		classRelease()
 		s.count(s.mRejected)
 		endWith("rejected_queue_full")
 		w.Header().Set("Retry-After", "1")
@@ -757,6 +864,7 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, reqJSON []byte, 
 	if s.draining.Load() {
 		s.mu.Unlock()
 		<-s.slots // return the admission token
+		classRelease()
 		endWith("draining")
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -765,8 +873,9 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, reqJSON []byte, 
 	// the first check and admission, and starting a fresh simulation for bytes
 	// the cache already holds is wasted work.
 	if b, sk, ok := s.cache.get(fp); ok {
-		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm)
+		s.serveCachedLocked(w, kind, fp, b, sk, t0, root, adm, false)
 		<-s.slots // return the admission token; no flight was started
+		classRelease()
 		return
 	}
 	fl, created := s.flightForLocked(fp, root, fn)
@@ -774,6 +883,7 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, reqJSON []byte, 
 	j := s.newJobLocked(kind, fp)
 	j.created = t0 // anchor phase accounting at submit entry, not allocation
 	j.deduped = deduped
+	j.classRelease = classRelease // freed with the admission token
 	j.flight = fl
 	j.flightID = fl.id
 	j.span = root

@@ -41,17 +41,22 @@ func summarizeUs(h *obs.Histogram) LatencySummary {
 // for every job, so the phase means (weighted by count) sum to the served
 // mean up to microsecond truncation.
 type Stats struct {
+	// NodeID and Role identify this daemon in a fleet scrape ("" / "single"
+	// standalone, the node id / "worker" on a fleet node).
+	NodeID        string  `json:"node_id,omitempty"`
+	Role          string  `json:"role"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
 	Jobs          struct {
-		Accepted  uint64 `json:"accepted"`
-		Rejected  uint64 `json:"rejected"`
-		Deduped   uint64 `json:"deduped"`
-		Cached    uint64 `json:"cached"`
-		Completed uint64 `json:"completed"`
-		Failed    uint64 `json:"failed"`
-		Cancelled uint64 `json:"cancelled"`
-		Tracked   int    `json:"tracked"`
+		Accepted      uint64 `json:"accepted"`
+		Rejected      uint64 `json:"rejected"`
+		QuotaRejected uint64 `json:"quota_rejected"`
+		Deduped       uint64 `json:"deduped"`
+		Cached        uint64 `json:"cached"`
+		Completed     uint64 `json:"completed"`
+		Failed        uint64 `json:"failed"`
+		Cancelled     uint64 `json:"cancelled"`
+		Tracked       int    `json:"tracked"`
 	} `json:"jobs"`
 	Queue struct {
 		Depth    int `json:"depth"`
@@ -79,6 +84,15 @@ type Stats struct {
 		// JournalRecords counts write-ahead records appended this process.
 		JournalRecords uint64 `json:"journal_records"`
 	} `json:"store"`
+	// Peer is the fleet-peering tier of the cache ladder: entries fetched
+	// from (and served to) other fleet nodes. Corrupt counts peer entries
+	// that failed CRC verification and were recomputed locally instead.
+	Peer struct {
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+		Corrupt uint64 `json:"corrupt"`
+		Served  uint64 `json:"served"`
+	} `json:"peer"`
 	// Recovery reports the startup journal replay: jobs rehydrated from the
 	// store and jobs re-enqueued (outstanding until their re-run finishes).
 	Recovery RecoveryStatus `json:"recovery"`
@@ -136,10 +150,13 @@ type Stats struct {
 // table, cache), then metricsMu (histograms) — never nested.
 func (s *Server) statsSnapshot() Stats {
 	var st Stats
+	st.NodeID = s.cfg.NodeID
+	st.Role = s.Role()
 	st.UptimeSeconds = time.Since(s.startedAt).Seconds()
 	st.Draining = s.draining.Load()
 	st.Jobs.Accepted = s.mAccepted.Value()
 	st.Jobs.Rejected = s.mRejected.Value()
+	st.Jobs.QuotaRejected = s.mQuotaRejected.Value()
 	st.Jobs.Deduped = s.mDeduped.Value()
 	st.Jobs.Cached = s.mCached.Value()
 	st.Jobs.Completed = s.mCompleted.Value()
@@ -160,6 +177,10 @@ func (s *Server) statsSnapshot() Stats {
 	st.Store.Corrupt = s.mStoreCorrupt.Value()
 	st.Store.WriteErrors = s.mStoreWriteErrors.Value()
 	st.Store.JournalRecords = s.mJournalRecords.Value()
+	st.Peer.Hits = s.mPeerHits.Value()
+	st.Peer.Misses = s.mPeerMisses.Value()
+	st.Peer.Corrupt = s.mPeerCorrupt.Value()
+	st.Peer.Served = s.mPeerServed.Value()
 	st.Recovery = s.recoveryStatus()
 	st.Skip.SimRuns = s.mSkipRuns.Value()
 	st.Skip.CyclesSkipped = s.mCyclesSkipped.Value()
